@@ -1,0 +1,101 @@
+"""Ablation: orderings inside Clark's reduction and inside the global optimizer.
+
+Two design choices the paper calls out are exercised here:
+
+1. **Variable ordering in the pairwise max reduction.**  The paper (citing
+   Ross 2003) orders the stage delays by increasing mean before applying
+   Clark's pairwise max, to minimise the approximation error.  This ablation
+   measures the mean/sigma error of the three orderings against exact
+   sampling for heterogeneous stage populations.
+
+2. **Stage processing order in the Fig. 9 global optimization.**  The paper
+   processes stages in ascending order of the eq. 14 sensitivity ratio R_i.
+   This ablation runs the global optimizer with ascending, descending and
+   document order on the ALU-Decoder pipeline and compares the final
+   area/yield.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.core.pipeline_delay import PipelineDelayModel
+from repro.core.stage_delay import StageDelayDistribution
+from repro.core.clark import max_of_gaussians
+from repro.core.yield_model import stage_yield_budget
+from repro.optimize.balance import design_balanced_pipeline
+from repro.optimize.global_opt import GlobalPipelineOptimizer
+from repro.optimize.lagrangian import LagrangianSizer
+from repro.pipeline.builder import alu_decoder_pipeline
+from repro.process.technology import default_technology
+from repro.process.variation import VariationModel
+
+from bench_utils import run_once, save_report
+
+
+def clark_ordering_ablation() -> str:
+    rng = np.random.default_rng(99)
+    rows = []
+    for case, (means, stds) in {
+        "spread means, equal sigmas": (np.linspace(180e-12, 220e-12, 8), np.full(8, 8e-12)),
+        "equal means, spread sigmas": (np.full(8, 200e-12), np.linspace(4e-12, 16e-12, 8)),
+        "anti-correlated mean/sigma": (np.linspace(180e-12, 220e-12, 8), np.linspace(16e-12, 4e-12, 8)),
+    }.items():
+        samples = (rng.standard_normal((400_000, means.size)) * stds + means).max(axis=1)
+        for ordering in ("increasing", "decreasing", "given"):
+            result = max_of_gaussians(means, stds, ordering=ordering)
+            rows.append([
+                case,
+                ordering,
+                round(100.0 * abs(result.mean - samples.mean()) / samples.mean(), 3),
+                round(100.0 * abs(result.std - samples.std()) / samples.std(), 2),
+            ])
+    return format_table(
+        ["stage population", "ordering", "mean error (%)", "sigma error (%)"],
+        rows,
+        title="Ablation: variable ordering inside Clark's pairwise max",
+    )
+
+
+def stage_ordering_ablation() -> str:
+    pipeline = alu_decoder_pipeline(width=8, n_address=4)
+    sizer = LagrangianSizer(default_technology(), VariationModel.combined())
+    stage_yield = stage_yield_budget(0.80, pipeline.n_stages)
+    fastest = min(
+        sizer.stage_distribution(stage).delay_at_yield(stage_yield)
+        for stage in pipeline.stages
+    )
+    target_delay = 0.85 * fastest
+    balanced = design_balanced_pipeline(pipeline, sizer, target_delay, 0.80)
+
+    rows = []
+    for ordering in ("ri_ascending", "ri_descending", "pipeline"):
+        optimizer = GlobalPipelineOptimizer(sizer, curve_points=4, ordering=ordering)
+        result = optimizer.optimize(balanced.pipeline, target_delay, 0.80)
+        rows.append([
+            ordering,
+            " -> ".join(result.stage_order),
+            round(result.after.total_area, 1),
+            round(100.0 * result.after.pipeline_yield, 1),
+        ])
+    rows.append([
+        "(balanced baseline)", "-",
+        round(balanced.total_area, 1),
+        round(100.0 * GlobalPipelineOptimizer(sizer).pipeline_yield(balanced.pipeline, target_delay), 1),
+    ])
+    return format_table(
+        ["stage ordering", "processing order", "final area (um^2)", "final pipeline yield (%)"],
+        rows,
+        title=f"Ablation: stage ordering in the Fig. 9 flow (target {target_delay*1e12:.0f} ps, yield 80 %)",
+    )
+
+
+def test_ablation_clark_ordering(benchmark):
+    report = run_once(benchmark, clark_ordering_ablation)
+    save_report("ablation_clark_ordering", report)
+
+
+def test_ablation_stage_ordering(benchmark):
+    report = run_once(benchmark, stage_ordering_ablation)
+    save_report("ablation_stage_ordering", report)

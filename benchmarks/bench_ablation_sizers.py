@@ -1,0 +1,67 @@
+"""Ablation: Lagrangian-relaxation sizer vs. greedy (TILOS-like) sizer.
+
+The paper relies on the Lagrangian-relaxation statistical sizer of Choi et
+al. (DAC 2004) for its low complexity.  This ablation sizes the same stages
+for the same statistical targets with this repo's Lagrangian sizer and with
+a classical greedy upsizing baseline, and compares achieved yield, area and
+runtime.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis.reporting import format_table
+from repro.circuit.iscas import iscas_benchmark
+from repro.optimize.greedy import GreedySizer
+from repro.optimize.lagrangian import LagrangianSizer
+from repro.pipeline.stage import PipelineStage
+from repro.process.technology import default_technology
+from repro.process.variation import VariationModel
+
+from bench_utils import run_once, save_report
+
+STAGE_YIELD = 0.95
+SPEEDUP = 0.85  # delay target as a fraction of the min-size stage delay
+
+
+def sizer_ablation() -> str:
+    technology = default_technology()
+    variation = VariationModel.combined()
+    lagrangian = LagrangianSizer(technology, variation)
+    greedy = GreedySizer(technology, variation, max_moves=2500)
+
+    rows = []
+    for benchmark_name in ("c432", "c1908"):
+        stage = PipelineStage(benchmark_name, iscas_benchmark(benchmark_name))
+        baseline = lagrangian.stage_distribution(stage)
+        target = SPEEDUP * baseline.delay_at_yield(STAGE_YIELD)
+        minimum_area = stage.netlist.total_area()
+
+        for label, sizer in (("lagrangian", lagrangian), ("greedy", greedy)):
+            start = time.perf_counter()
+            result = sizer.size_stage(stage, target, STAGE_YIELD, apply=False)
+            elapsed = time.perf_counter() - start
+            rows.append([
+                benchmark_name,
+                label,
+                round(target * 1e12, 1),
+                round(100.0 * result.achieved_yield, 1),
+                "yes" if result.met_target else "no",
+                round(result.area, 1),
+                round(result.area / minimum_area, 3),
+                round(elapsed, 2),
+            ])
+    return format_table(
+        [
+            "stage", "sizer", "target (ps)", "achieved yield (%)", "met",
+            "area (um^2)", "area / min-size area", "runtime (s)",
+        ],
+        rows,
+        title=f"Ablation: statistical sizers (stage yield target {STAGE_YIELD:.0%})",
+    )
+
+
+def test_ablation_sizers(benchmark):
+    report = run_once(benchmark, sizer_ablation)
+    save_report("ablation_sizers", report)

@@ -1,0 +1,109 @@
+"""Figure 2: pipeline delay distributions, Monte-Carlo vs. analytical model.
+
+The paper overlays SPICE Monte-Carlo histograms of a 12-stage inverter-chain
+pipeline (stage logic depth 10) with the distribution predicted by the
+analytical model, for three variation regimes:
+
+  (a) only random intra-die variation  -> independent stage delays,
+  (b) only inter-die variation         -> perfectly correlated stage delays,
+  (c) inter + intra (random and spatially correlated) -> partial correlation.
+
+This benchmark regenerates the three panels as data: for each regime it runs
+the Monte-Carlo engine, fits the per-stage distributions, feeds them (plus
+the measured correlations) to the pipeline model, and reports the Monte-Carlo
+vs. analytical mean/sigma together with a coarse histogram overlay.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.histogram import overlay_series
+from repro.analysis.reporting import format_series, format_table
+from repro.core.pipeline_delay import PipelineDelayModel
+from repro.montecarlo.engine import MonteCarloEngine
+from repro.pipeline.builder import inverter_chain_pipeline
+from repro.process.variation import VariationModel
+
+from bench_utils import run_once, save_report
+
+N_STAGES = 12
+LOGIC_DEPTH = 10
+N_SAMPLES = 4000
+
+REGIMES = {
+    "fig2a_intra_only": VariationModel.intra_random_only(),
+    "fig2b_inter_only": VariationModel.inter_only(0.040),
+    "fig2c_inter_plus_intra": VariationModel.combined(
+        sigma_vth_inter=0.020, sigma_vth_random=0.025, sigma_vth_systematic=0.012
+    ),
+}
+
+
+def reproduce_panel(name: str, variation: VariationModel) -> str:
+    pipeline = inverter_chain_pipeline(N_STAGES, LOGIC_DEPTH)
+    engine = MonteCarloEngine(variation, n_samples=N_SAMPLES, seed=2005)
+    mc = engine.run_pipeline(pipeline)
+    pipeline_mc = mc.pipeline_result()
+
+    model = PipelineDelayModel(mc.stage_distributions(), mc.correlation_matrix())
+    estimate = model.estimate()
+
+    summary = format_table(
+        ["quantity", "Monte-Carlo", "analytical", "error (%)"],
+        [
+            [
+                "mean (ps)",
+                pipeline_mc.mean * 1e12,
+                estimate.mean * 1e12,
+                100.0 * abs(estimate.mean - pipeline_mc.mean) / pipeline_mc.mean,
+            ],
+            [
+                "sigma (ps)",
+                pipeline_mc.std * 1e12,
+                estimate.std * 1e12,
+                100.0 * abs(estimate.std - pipeline_mc.std) / pipeline_mc.std,
+            ],
+            [
+                "mean stage correlation",
+                float(np.mean(mc.correlation_matrix()[np.triu_indices(N_STAGES, 1)])),
+                "-",
+                "-",
+            ],
+        ],
+        title=f"{name}: {N_STAGES}-stage inverter-chain pipeline, logic depth {LOGIC_DEPTH}",
+    )
+
+    overlay = overlay_series(mc.pipeline_samples, estimate.mean, estimate.std, bins=18)
+    histogram = format_series(
+        "delay (ps)",
+        list(np.round(overlay["delay"] * 1e12, 1)),
+        {
+            "monte_carlo_density": list(np.round(overlay["monte_carlo"] * 1e-12, 4)),
+            "analytical_density": list(np.round(overlay["analytical"] * 1e-12, 4)),
+        },
+        title="Histogram overlay (densities per ps)",
+    )
+    return summary + "\n\n" + histogram
+
+
+def test_fig2a_intra_only(benchmark):
+    report = run_once(
+        benchmark, lambda: reproduce_panel("fig2a_intra_only", REGIMES["fig2a_intra_only"])
+    )
+    save_report("fig2a_intra_only", report)
+
+
+def test_fig2b_inter_only(benchmark):
+    report = run_once(
+        benchmark, lambda: reproduce_panel("fig2b_inter_only", REGIMES["fig2b_inter_only"])
+    )
+    save_report("fig2b_inter_only", report)
+
+
+def test_fig2c_inter_plus_intra(benchmark):
+    report = run_once(
+        benchmark,
+        lambda: reproduce_panel("fig2c_inter_plus_intra", REGIMES["fig2c_inter_plus_intra"]),
+    )
+    save_report("fig2c_inter_plus_intra", report)

@@ -1,0 +1,83 @@
+"""Figure 3: trend of the modeling error with stage count and correlation.
+
+The paper reports the percent error of the analytically estimated mean and
+sigma of the pipeline delay (Clark's method) against Monte-Carlo, as a
+function of (a) the number of pipeline stages and (b) the correlation
+coefficient between stage delays, and observes that the sigma error grows in
+both cases while the mean error stays tiny (< 0.2 %).
+
+Here the comparison isolates the approximation itself: stage delays are
+sampled from the exact multivariate Gaussian the model assumes, so the error
+measured is purely Clark's, exactly as in the paper's Fig. 3.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.reporting import format_series
+from repro.core.pipeline_delay import PipelineDelayModel
+from repro.core.stage_delay import StageDelayDistribution
+
+from bench_utils import run_once, save_report
+
+STAGE_MEAN = 200e-12
+STAGE_SIGMA = 8e-12
+N_SAMPLES = 400_000
+
+
+def error_vs_stage_count() -> str:
+    counts = [2, 5, 10, 15, 20, 25, 30]
+    mean_errors = []
+    sigma_errors = []
+    rng = np.random.default_rng(3)
+    for count in counts:
+        stages = [StageDelayDistribution(STAGE_MEAN, STAGE_SIGMA)] * count
+        model = PipelineDelayModel(stages)
+        estimate = model.estimate()
+        samples = model.sample(N_SAMPLES, rng)
+        mean_errors.append(100.0 * abs(estimate.mean - samples.mean()) / samples.mean())
+        sigma_errors.append(100.0 * abs(estimate.std - samples.std()) / samples.std())
+    return format_series(
+        "number of stages",
+        counts,
+        {
+            "mean error (%)": list(np.round(mean_errors, 3)),
+            "sigma error (%)": list(np.round(sigma_errors, 2)),
+        },
+        title="Fig. 3(a): modeling error vs. number of stages (independent stages)",
+    )
+
+
+def error_vs_correlation() -> str:
+    rhos = [0.0, 0.2, 0.4, 0.6, 0.8]
+    n_stages = 10
+    mean_errors = []
+    sigma_errors = []
+    rng = np.random.default_rng(4)
+    for rho in rhos:
+        stages = [StageDelayDistribution(STAGE_MEAN, STAGE_SIGMA)] * n_stages
+        model = PipelineDelayModel.with_uniform_correlation(stages, rho)
+        estimate = model.estimate()
+        samples = model.sample(N_SAMPLES, rng)
+        mean_errors.append(100.0 * abs(estimate.mean - samples.mean()) / samples.mean())
+        sigma_errors.append(100.0 * abs(estimate.std - samples.std()) / samples.std())
+    return format_series(
+        "correlation coefficient",
+        rhos,
+        {
+            "mean error (%)": list(np.round(mean_errors, 3)),
+            "sigma error (%)": list(np.round(sigma_errors, 2)),
+        },
+        title=f"Fig. 3(b): modeling error vs. stage correlation ({n_stages} stages)",
+    )
+
+
+def test_fig3a_error_vs_stage_count(benchmark):
+    report = run_once(benchmark, error_vs_stage_count)
+    save_report("fig3a_error_vs_stages", report)
+
+
+def test_fig3b_error_vs_correlation(benchmark):
+    report = run_once(benchmark, error_vs_correlation)
+    save_report("fig3b_error_vs_correlation", report)

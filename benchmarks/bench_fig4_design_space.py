@@ -1,0 +1,107 @@
+"""Figure 4: permissible (mu, sigma) design space for a target yield.
+
+The paper's Fig. 4 plots, in the per-stage (mu, sigma) plane:
+
+* the relaxed upper bound (eq. 11),
+* equality bounds (eq. 12) for two stage counts n1 < n2,
+* realizable lower / upper curves from the inverter-chain model (eq. 13),
+* the minimum-mu / minimum-sigma corner from the minimum logic depth,
+
+and shades the resulting realizable region.  This benchmark regenerates the
+bound curves as data series and reports the fraction of the (mu, sigma) grid
+that is feasible and realizable.  The gate-level characteristics feeding
+eq. 13 are measured from the Monte-Carlo engine (minimum-size and
+maximum-size inverters).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.reporting import format_series, format_table
+from repro.circuit.generators import inverter_chain
+from repro.core.design_space import DesignSpace, GateDelayCharacteristics
+from repro.montecarlo.engine import MonteCarloEngine
+from repro.process.variation import VariationModel
+
+from bench_utils import run_once, save_report
+
+TARGET_DELAY = 200e-12
+TARGET_YIELD = 0.9
+STAGE_COUNTS = (4, 10)
+
+
+def measure_gate_characteristics() -> GateDelayCharacteristics:
+    variation = VariationModel.combined()
+    engine = MonteCarloEngine(variation, n_samples=3000, seed=7)
+    minimum = engine.run_netlist(inverter_chain(1, size=1.0))
+    maximum = engine.run_netlist(inverter_chain(1, size=8.0, name="inv_big"))
+    return GateDelayCharacteristics(
+        mu_min=minimum.mean,
+        sigma_min=minimum.std,
+        mu_max=maximum.mean,
+        sigma_max=maximum.std,
+    )
+
+
+def reproduce_fig4() -> str:
+    gates = measure_gate_characteristics()
+    space = DesignSpace(TARGET_DELAY, TARGET_YIELD)
+
+    sigmas = np.linspace(0.0, 40e-12, 9)
+    series = {
+        "relaxed bound mu_max (ps)": np.round(
+            np.asarray(space.relaxed_upper_bound(sigmas)) * 1e12, 1
+        ),
+    }
+    for count in STAGE_COUNTS:
+        series[f"equality bound mu_max (ps), N={count}"] = np.round(
+            np.asarray(space.equality_bound(sigmas, count)) * 1e12, 1
+        )
+    bounds = format_series(
+        "sigma (ps)",
+        list(np.round(sigmas * 1e12, 1)),
+        {name: list(values) for name, values in series.items()},
+        title=(
+            f"Fig. 4 bounds: target delay {TARGET_DELAY*1e12:.0f} ps, "
+            f"target yield {TARGET_YIELD:.0%}"
+        ),
+    )
+
+    mus = np.linspace(20e-12, 200e-12, 10)
+    lower, upper = space.realizable_bounds(mus, gates)
+    realizable = format_series(
+        "mu (ps)",
+        list(np.round(mus * 1e12, 1)),
+        {
+            "realizable sigma lower (ps)": list(np.round(np.asarray(lower) * 1e12, 2)),
+            "realizable sigma upper (ps)": list(np.round(np.asarray(upper) * 1e12, 2)),
+        },
+        title="Realizable band from the inverter-chain model (eq. 13)",
+    )
+
+    region = space.region(n_stages=STAGE_COUNTS[0], gates=gates, min_logic_depth=4)
+    min_mu, min_sigma = space.minimum_realizable_point(gates, min_logic_depth=4)
+    summary = format_table(
+        ["quantity", "value"],
+        [
+            ["gate mu_min (ps)", round(gates.mu_min * 1e12, 2)],
+            ["gate sigma_min (ps)", round(gates.sigma_min * 1e12, 2)],
+            ["gate mu_max (ps)", round(gates.mu_max * 1e12, 2)],
+            ["gate sigma_max (ps)", round(gates.sigma_max * 1e12, 2)],
+            ["minimum-depth corner mu (ps)", round(min_mu * 1e12, 1)],
+            ["minimum-depth corner sigma (ps)", round(min_sigma * 1e12, 2)],
+            ["feasible fraction of grid", round(region.feasible_fraction, 3)],
+            [
+                "feasible AND realizable fraction",
+                round(float(region.realizable_and_feasible.mean()), 3),
+            ],
+        ],
+        title="Design-space region summary",
+    )
+    return bounds + "\n\n" + realizable + "\n\n" + summary
+
+
+def test_fig4_design_space(benchmark):
+    report = run_once(benchmark, reproduce_fig4)
+    save_report("fig4_design_space", report)

@@ -1,0 +1,119 @@
+"""Figure 5: variability vs. logic depth, stage count, and their product.
+
+Three panels (paper section 3.1):
+
+  (a) normalised sigma/mu of a *stage* vs. its logic depth, for increasing
+      inter-die strength -- the cancellation effect weakens as correlated
+      variation grows,
+  (b) normalised sigma/mu of the *pipeline* delay vs. the number of stages,
+      for cross-stage correlations 0 / 0.2 / 0.5 -- the max-function effect
+      weakens as correlation grows,
+  (c) sigma/mu of the pipeline delay when N_S x N_L = 120 is held constant,
+      for inter-die sigma 0 / 20 / 40 mV -- the crossover between the
+      intra-dominated regime (more stages hurt) and the inter-dominated
+      regime (more stages help).
+
+Panels (a) and (c) are measured with the Monte-Carlo engine on inverter-chain
+pipelines (the paper's workload); panel (b) uses the analytical pipeline
+model directly, as the paper does.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.reporting import format_series
+from repro.core.stage_delay import StageDelayDistribution
+from repro.core.variability import normalized_series, pipeline_variability_vs_stages
+from repro.montecarlo.engine import MonteCarloEngine
+from repro.pipeline.builder import inverter_chain_pipeline
+from repro.process.variation import VariationModel
+
+from bench_utils import run_once, save_report
+
+N_SAMPLES = 3000
+
+INTER_SWEEP = {
+    "intra only": VariationModel.combined(sigma_vth_inter=0.0),
+    "inter 20mV + intra": VariationModel.combined(sigma_vth_inter=0.020),
+    "inter 40mV + intra": VariationModel.combined(sigma_vth_inter=0.040),
+    "inter 40mV only": VariationModel.inter_only(0.040),
+}
+
+
+def fig5a_stage_variability() -> str:
+    depths = [5, 10, 20, 40]
+    series = {}
+    for label, variation in INTER_SWEEP.items():
+        engine = MonteCarloEngine(variation, n_samples=N_SAMPLES, seed=51)
+        values = []
+        for depth in depths:
+            pipeline = inverter_chain_pipeline(1, depth)
+            result = engine.run_pipeline(pipeline).stage_result(0)
+            values.append(result.variability)
+        series[label] = list(np.round(normalized_series(np.array(values)), 3))
+    return format_series(
+        "stage logic depth",
+        depths,
+        series,
+        title="Fig. 5(a): normalised stage sigma/mu vs. logic depth",
+    )
+
+
+def fig5b_pipeline_variability_vs_stages() -> str:
+    counts = [4, 8, 12, 16, 24, 32, 40]
+    stage = StageDelayDistribution(200e-12, 8e-12)
+    series = {
+        f"correlation {rho}": list(
+            np.round(
+                normalized_series(pipeline_variability_vs_stages(stage, counts, rho)), 3
+            )
+        )
+        for rho in (0.0, 0.2, 0.5)
+    }
+    return format_series(
+        "number of stages",
+        counts,
+        series,
+        title="Fig. 5(b): normalised pipeline sigma/mu vs. number of stages",
+    )
+
+
+def fig5c_fixed_total_depth() -> str:
+    total_depth = 120
+    counts = [4, 6, 8, 12, 24]
+    sweeps = {
+        "sigmaVth_inter = 0mV": VariationModel.combined(sigma_vth_inter=0.0),
+        "sigmaVth_inter = 20mV": VariationModel.combined(sigma_vth_inter=0.020),
+        "sigmaVth_inter = 40mV": VariationModel.combined(sigma_vth_inter=0.040),
+    }
+    series = {}
+    for label, variation in sweeps.items():
+        engine = MonteCarloEngine(variation, n_samples=N_SAMPLES, seed=53)
+        values = []
+        for count in counts:
+            pipeline = inverter_chain_pipeline(count, total_depth // count)
+            result = engine.run_pipeline(pipeline).pipeline_result()
+            values.append(result.variability)
+        series[label] = list(np.round(np.array(values), 4))
+    return format_series(
+        "number of stages (N_S, with N_S x N_L = 120)",
+        counts,
+        series,
+        title="Fig. 5(c): pipeline sigma/mu at constant total logic depth",
+    )
+
+
+def test_fig5a_stage_variability_vs_logic_depth(benchmark):
+    report = run_once(benchmark, fig5a_stage_variability)
+    save_report("fig5a_stage_variability", report)
+
+
+def test_fig5b_pipeline_variability_vs_stage_count(benchmark):
+    report = run_once(benchmark, fig5b_pipeline_variability_vs_stages)
+    save_report("fig5b_pipeline_variability", report)
+
+
+def test_fig5c_fixed_total_logic_depth(benchmark):
+    report = run_once(benchmark, fig5c_fixed_total_depth)
+    save_report("fig5c_fixed_total_depth", report)

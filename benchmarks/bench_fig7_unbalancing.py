@@ -1,0 +1,134 @@
+"""Figure 7: effect of deliberate stage-delay imbalance at constant area.
+
+The paper's experiment (section 3.2, Figs. 6-8): a 3-stage ALU / Decoder /
+ALU pipeline is first balanced -- every stage independently optimised for the
+same delay target with a per-stage yield budget of (0.80)^(1/3) = 0.9283 --
+and then imbalance is introduced by moving area between stages at constant
+total area, following the eq. 14 heuristic ("best") or its inverse ("worst").
+
+  Fig. 7(a): the unbalanced design's delay distribution shifts to a lower
+             mean (with slightly larger spread) than the balanced one.
+  Fig. 7(b): achieved yield vs. target yield for balanced / best-unbalanced /
+             worst-unbalanced at (approximately) equal area -- the heuristic
+             imbalance wins, the inverted one loses.
+
+All three designs are verified with the Monte-Carlo engine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.core.yield_model import stage_yield_budget
+from repro.montecarlo.engine import MonteCarloEngine
+from repro.optimize.area_delay import characterize_stage
+from repro.optimize.balance import design_balanced_pipeline
+from repro.optimize.lagrangian import LagrangianSizer
+from repro.optimize.redistribute import redistribute_area
+from repro.pipeline.builder import alu_decoder_pipeline
+from repro.process.technology import default_technology
+from repro.process.variation import VariationModel
+
+from bench_utils import run_once, save_report
+
+PIPELINE_YIELD_TARGET = 0.80
+TARGET_YIELD_SWEEP = (0.70, 0.75, 0.80)
+FRACTION = 0.10
+N_SAMPLES = 3000
+
+
+def reproduce_fig7() -> str:
+    pipeline = alu_decoder_pipeline(width=8, n_address=4)
+    variation = VariationModel.combined()
+    sizer = LagrangianSizer(default_technology(), variation)
+    stage_yield = stage_yield_budget(PIPELINE_YIELD_TARGET, pipeline.n_stages)
+
+    fastest = min(
+        sizer.stage_distribution(stage).delay_at_yield(stage_yield)
+        for stage in pipeline.stages
+    )
+    target_delay = 0.85 * fastest
+
+    balanced = design_balanced_pipeline(pipeline, sizer, target_delay, PIPELINE_YIELD_TARGET)
+    curves = {
+        stage.name: characterize_stage(stage, sizer, stage_yield, n_points=5)
+        for stage in balanced.pipeline.stages
+    }
+    best = redistribute_area(
+        balanced.pipeline, curves, sizer, target_delay, stage_yield,
+        fraction=FRACTION, mode="best",
+    )
+    worst = redistribute_area(
+        balanced.pipeline, curves, sizer, target_delay, stage_yield,
+        fraction=FRACTION, mode="worst",
+    )
+
+    engine = MonteCarloEngine(variation, n_samples=N_SAMPLES, seed=77)
+    designs = {
+        "balanced": balanced.pipeline,
+        "unbalanced (best, eq.14)": best.pipeline,
+        "unbalanced (worst, inverted)": worst.pipeline,
+    }
+    monte_carlo = {name: engine.run_pipeline(design) for name, design in designs.items()}
+
+    # ------------------------------------------------------------------
+    # Fig. 7(a): delay distribution summary
+    # ------------------------------------------------------------------
+    distribution_rows = []
+    for name, design in designs.items():
+        result = monte_carlo[name].pipeline_result()
+        distribution_rows.append([
+            name,
+            round(design.total_area(), 1),
+            round(result.mean * 1e12, 1),
+            round(result.std * 1e12, 2),
+            round(100.0 * monte_carlo[name].yield_at(target_delay), 1),
+        ])
+    panel_a = format_table(
+        ["design", "total area (um^2)", "MC mean (ps)", "MC sigma (ps)",
+         f"MC yield @ {target_delay*1e12:.1f} ps (%)"],
+        distribution_rows,
+        title="Fig. 7(a): pipeline delay distribution, balanced vs. unbalanced (constant area)",
+    )
+
+    # ------------------------------------------------------------------
+    # Fig. 7(b): achieved yield vs. target yield
+    # ------------------------------------------------------------------
+    yield_rows = []
+    for target_yield in TARGET_YIELD_SWEEP:
+        # Each target yield corresponds to the clock period the *balanced*
+        # design would need for that yield; all designs are evaluated at it.
+        period = monte_carlo["balanced"].pipeline_result().delay_at_yield(target_yield)
+        yield_rows.append([
+            round(100.0 * target_yield, 0),
+            round(period * 1e12, 1),
+            *[
+                round(100.0 * monte_carlo[name].yield_at(period), 1)
+                for name in designs
+            ],
+        ])
+    panel_b = format_table(
+        ["target yield (%)", "clock period (ps)",
+         "balanced (%)", "unbalanced best (%)", "unbalanced worst (%)"],
+        yield_rows,
+        title="Fig. 7(b): achieved yield at (approximately) constant area",
+    )
+
+    roles = format_table(
+        ["quantity", "value"],
+        [
+            ["area moved (fraction of donor logic)", FRACTION],
+            ["donor stages (best mode)", ", ".join(best.donor_stages)],
+            ["receiver stages (best mode)", ", ".join(best.receiver_stages)],
+            ["balanced per-stage yield budget", round(stage_yield, 4)],
+            ["pipeline delay target (ps)", round(target_delay * 1e12, 1)],
+        ],
+        title="Experiment setup",
+    )
+    return roles + "\n\n" + panel_a + "\n\n" + panel_b
+
+
+def test_fig7_balanced_vs_unbalanced(benchmark):
+    report = run_once(benchmark, reproduce_fig7)
+    save_report("fig7_unbalancing", report)

@@ -1,0 +1,71 @@
+"""Figure 8: area-vs-delay curves of the three ALU-Decoder pipeline stages.
+
+The paper characterises the area-vs-delay trade-off of each stage of the
+3-stage ALU / Decoder / ALU pipeline and uses the local slopes (eq. 14
+sensitivity ratio R_i) to decide which stages donate area and which receive
+it.  This benchmark regenerates the three curves with the statistical sizer
+and reports the R_i values evaluated at the Fig. 7 operating point.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.reporting import format_series, format_table
+from repro.core.yield_model import stage_yield_budget
+from repro.optimize.area_delay import characterize_stage
+from repro.optimize.lagrangian import LagrangianSizer
+from repro.pipeline.builder import alu_decoder_pipeline
+from repro.process.technology import default_technology
+from repro.process.variation import VariationModel
+
+from bench_utils import run_once, save_report
+
+PIPELINE_YIELD_TARGET = 0.80
+CURVE_POINTS = 6
+
+
+def reproduce_fig8() -> str:
+    pipeline = alu_decoder_pipeline(width=8, n_address=4)
+    sizer = LagrangianSizer(default_technology(), VariationModel.combined())
+    stage_yield = stage_yield_budget(PIPELINE_YIELD_TARGET, pipeline.n_stages)
+
+    # The Fig. 7 operating point: every stage must reach the pipeline target,
+    # which sits just below the fastest stage's minimum-size delay.
+    fastest = min(
+        sizer.stage_distribution(stage).delay_at_yield(stage_yield)
+        for stage in pipeline.stages
+    )
+    target_delay = 0.85 * fastest
+
+    sections = []
+    ratio_rows = []
+    for stage in pipeline.stages:
+        curve = characterize_stage(stage, sizer, stage_yield, n_points=CURVE_POINTS)
+        normalised_delay = curve.delays() / target_delay
+        sections.append(
+            format_series(
+                "normalised delay (vs. pipeline target)",
+                list(np.round(normalised_delay, 3)),
+                {
+                    "area (um^2)": list(np.round(curve.areas(), 1)),
+                    "delay (ps)": list(np.round(curve.delays() * 1e12, 1)),
+                },
+                title=f"Area vs. delay: stage {stage.name}",
+            )
+        )
+        ratio_rows.append(
+            [stage.name, round(curve.sensitivity_ratio(target_delay), 2),
+             "shrink (donor)" if curve.sensitivity_ratio(target_delay) > 1.0 else "grow (receiver)"]
+        )
+    ratios = format_table(
+        ["stage", "R_i at operating point", "eq. 14 action"],
+        ratio_rows,
+        title=f"Eq. 14 sensitivity ratios at target delay {target_delay*1e12:.1f} ps",
+    )
+    return "\n\n".join(sections) + "\n\n" + ratios
+
+
+def test_fig8_area_delay_curves(benchmark):
+    report = run_once(benchmark, reproduce_fig8)
+    save_report("fig8_area_delay_curves", report)

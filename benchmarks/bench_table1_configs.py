@@ -1,0 +1,79 @@
+"""Table I: delay distribution and yield for different pipeline configurations.
+
+The paper's Table I compares Monte-Carlo and analytical mu_T / sigma_T /
+yield for five inverter-chain pipeline configurations (stages x logic depth):
+
+    8 x 5, 5 x 8, 5 x variable, 5 x 8 (inter-die only), 5 x 8 (inter + intra).
+
+Absolute picoseconds differ from the paper (synthetic technology instead of
+BPTM SPICE), so each row's target delay is chosen at the same *relative*
+position the paper's targets occupy (a few sigma above the Monte-Carlo mean);
+the comparison of interest is model vs. Monte-Carlo on the same row.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.core.pipeline_delay import PipelineDelayModel
+from repro.montecarlo.engine import MonteCarloEngine
+from repro.pipeline.builder import inverter_chain_pipeline
+from repro.process.variation import VariationModel
+
+from bench_utils import run_once, save_report
+
+N_SAMPLES = 4000
+
+CONFIGURATIONS = [
+    # (label, n_stages, logic_depth(s), variation, target quantile)
+    ("8 x 5 (intra)", 8, 5, VariationModel.intra_random_only(), 0.96),
+    ("5 x 8 (intra)", 5, 8, VariationModel.intra_random_only(), 0.78),
+    ("5 x var (intra)", 5, [6, 8, 10, 8, 6], VariationModel.intra_random_only(), 0.92),
+    ("5 x 8 (inter)", 5, 8, VariationModel.inter_only(0.040), 0.88),
+    ("5 x 8 (inter+intra)", 5, 8,
+     VariationModel.combined(sigma_vth_inter=0.040), 0.90),
+]
+
+
+def reproduce_table1() -> str:
+    rows = []
+    for label, n_stages, depth, variation, quantile in CONFIGURATIONS:
+        pipeline = inverter_chain_pipeline(n_stages, depth)
+        engine = MonteCarloEngine(variation, n_samples=N_SAMPLES, seed=20050307)
+        mc = engine.run_pipeline(pipeline)
+        pipeline_mc = mc.pipeline_result()
+        target = float(np.quantile(mc.pipeline_samples, quantile))
+
+        model = PipelineDelayModel(mc.stage_distributions(), mc.correlation_matrix())
+        estimate = model.estimate()
+
+        rows.append([
+            label,
+            round(target * 1e12, 1),
+            round(pipeline_mc.mean * 1e12, 1),
+            round(pipeline_mc.std * 1e12, 2),
+            round(100.0 * mc.yield_at(target), 1),
+            round(estimate.mean * 1e12, 1),
+            round(estimate.std * 1e12, 2),
+            round(100.0 * estimate.yield_at(target), 1),
+        ])
+    return format_table(
+        [
+            "configuration",
+            "target (ps)",
+            "MC mu (ps)",
+            "MC sigma (ps)",
+            "MC yield (%)",
+            "model mu (ps)",
+            "model sigma (ps)",
+            "model yield (%)",
+        ],
+        rows,
+        title="Table I: Monte-Carlo vs. analytical model for pipeline configurations",
+    )
+
+
+def test_table1_pipeline_configurations(benchmark):
+    report = run_once(benchmark, reproduce_table1)
+    save_report("table1_configurations", report)

@@ -1,0 +1,118 @@
+"""Table II: ensuring the target pipeline yield with a small area penalty.
+
+The paper's Table II: a 4-stage pipeline whose stages are the ISCAS85
+circuits c3540, c2670, c1908 (the paper's "c1980") and c432 is first designed
+conventionally -- every stage individually optimised for a 95 % stage yield
+at the pipeline delay target -- which leaves the pipeline yield well short of
+the 80 % goal (73.9 % in the paper) because the hardest stage cannot reach
+its budget.  The proposed global optimization (Fig. 9) then re-sizes one
+stage at a time, ordered by the eq. 14 sensitivity ratio, raising the cheap
+stages' yields to compensate and reaching the 80 % pipeline target with only
+a ~2 % area increase.
+
+The pipeline delay target here is chosen the same way the paper's scenario
+implies: just below what the hardest stage can reach at a 95 % stage yield
+within the allowed size range, so the baseline under-achieves the pipeline
+target and the optimizer must make up the difference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.montecarlo.engine import MonteCarloEngine
+from repro.optimize.balance import design_balanced_pipeline
+from repro.optimize.global_opt import GlobalPipelineOptimizer
+from repro.optimize.lagrangian import LagrangianSizer
+from repro.pipeline.builder import iscas_pipeline
+from repro.process.technology import default_technology
+from repro.process.variation import VariationModel
+
+from bench_utils import run_once, save_report
+
+PIPELINE_YIELD_TARGET = 0.80
+STAGE_YIELD_BASELINE = 0.95
+N_SAMPLES = 1500
+
+
+def build_report(before, after, optimizer_result, mc_before, mc_after, target_delay) -> str:
+    names = list(before.stage_names)
+    total_before = before.total_area
+    rows = []
+    for index, name in enumerate(names):
+        rows.append([
+            name,
+            round(100.0 * before.stage_areas[index] / total_before, 1),
+            round(100.0 * before.stage_yields[index], 1),
+            round(100.0 * after.stage_areas[index] / total_before, 1),
+            round(100.0 * after.stage_yields[index], 1),
+        ])
+    rows.append([
+        "Pipeline",
+        round(100.0 * before.total_area / total_before, 1),
+        round(100.0 * before.pipeline_yield, 1),
+        round(100.0 * after.total_area / total_before, 1),
+        round(100.0 * after.pipeline_yield, 1),
+    ])
+    table = format_table(
+        ["stage", "area before (%)", "yield before (%)", "area after (%)", "yield after (%)"],
+        rows,
+        title=(
+            "Table II: ensuring the pipeline yield target "
+            f"({PIPELINE_YIELD_TARGET:.0%}) at T_target = {target_delay*1e12:.0f} ps "
+            "(areas relative to the baseline design)"
+        ),
+    )
+    checks = format_table(
+        ["quantity", "value"],
+        [
+            ["stage processing order (by R_i)", " -> ".join(optimizer_result.stage_order)],
+            ["pipeline yield improvement (points)", round(optimizer_result.yield_improvement, 1)],
+            ["area change (%)", round(optimizer_result.area_change_percent, 1)],
+            ["Monte-Carlo yield before (%)", round(100.0 * mc_before, 1)],
+            ["Monte-Carlo yield after (%)", round(100.0 * mc_after, 1)],
+        ],
+        title="Cross-checks",
+    )
+    return table + "\n\n" + checks
+
+
+def reproduce_table2() -> str:
+    pipeline = iscas_pipeline()
+    variation = VariationModel.combined()
+    sizer = LagrangianSizer(default_technology(), variation, max_outer=30)
+
+    # Delay target: just below what the hardest stage can reach at the 95 %
+    # stage-yield budget, so the conventional flow falls short of the
+    # pipeline yield target (the Table II scenario).
+    achievable = []
+    for stage in pipeline.stages:
+        result = sizer.size_stage(
+            stage, 0.6 * sizer.stage_distribution(stage).delay_at_yield(STAGE_YIELD_BASELINE),
+            STAGE_YIELD_BASELINE, apply=False,
+        )
+        achievable.append(result.stage_delay.delay_at_yield(STAGE_YIELD_BASELINE))
+    # Clearly below the hardest stage's best: that stage cannot reach its 95 %
+    # budget, so the conventional pipeline misses the 80 % goal (the paper's
+    # 73.9 % situation) and the optimizer has to compensate elsewhere.
+    target_delay = 0.92 * max(achievable)
+
+    balanced = design_balanced_pipeline(
+        pipeline, sizer, target_delay, PIPELINE_YIELD_TARGET,
+        stage_yield_target=STAGE_YIELD_BASELINE,
+    )
+
+    optimizer = GlobalPipelineOptimizer(sizer, curve_points=4, ordering="ri_ascending")
+    result = optimizer.optimize(balanced.pipeline, target_delay, PIPELINE_YIELD_TARGET)
+
+    engine = MonteCarloEngine(variation, n_samples=N_SAMPLES, seed=2)
+    mc_before = engine.run_pipeline(balanced.pipeline).yield_at(target_delay)
+    mc_after = engine.run_pipeline(result.pipeline).yield_at(target_delay)
+
+    return build_report(result.before, result.after, result, mc_before, mc_after, target_delay)
+
+
+def test_table2_ensure_yield(benchmark):
+    report = run_once(benchmark, reproduce_table2)
+    save_report("table2_ensure_yield", report)

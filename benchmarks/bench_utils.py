@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark module reproduces one table or figure of the paper.  The
+convention is:
+
+* the workload runs exactly once per benchmark (``run_once``) -- these are
+  experiments, not micro-benchmarks, so repeating them only wastes time,
+* the reproduced rows/series are written to ``benchmarks/results/<name>.txt``
+  (and echoed to stdout), so they survive pytest's output capturing and can
+  be diffed against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def run_once(benchmark, workload):
+    """Run ``workload`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(workload, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def save_report(name: str, text: str) -> pathlib.Path:
+    """Write a reproduced table/series to the results directory and stdout."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n===== {name} =====")
+    print(text)
+    return path

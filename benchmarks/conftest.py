@@ -1,0 +1,8 @@
+"""Pytest configuration for the benchmark harness."""
+
+import sys
+import pathlib
+
+# Make the local helper module importable regardless of how pytest sets up
+# rootdir / sys.path for the benchmarks directory.
+sys.path.insert(0, str(pathlib.Path(__file__).parent))

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Balanced vs. deliberately unbalanced pipeline design (paper section 3.2).
+
+Reproduces the paper's Fig. 6-8 story at example scale on the 3-stage
+ALU / Decoder / ALU pipeline:
+
+1. design the balanced baseline: every stage independently sized for the same
+   delay target with the per-stage yield budget (0.80)^(1/3),
+2. characterise each stage's area-vs-delay curve and classify the stages with
+   the eq. 14 sensitivity heuristic,
+3. move area from the "cheap to slow down" stages to the "cheap to speed up"
+   ones at constant total area (and do the inverse as the cautionary "worst"
+   case),
+4. verify all three designs with Monte-Carlo and compare their yields.
+
+Run:  python examples/alu_decoder_unbalance.py
+"""
+
+from __future__ import annotations
+
+from repro import MonteCarloEngine, VariationModel, alu_decoder_pipeline
+from repro.analysis.reporting import format_table
+from repro.core.yield_model import stage_yield_budget
+from repro.optimize.area_delay import characterize_stage
+from repro.optimize.balance import design_balanced_pipeline
+from repro.optimize.lagrangian import LagrangianSizer
+from repro.optimize.redistribute import redistribute_area
+from repro.process.technology import default_technology
+
+PIPELINE_YIELD_TARGET = 0.80
+
+
+def main() -> None:
+    pipeline = alu_decoder_pipeline(width=8, n_address=4)
+    variation = VariationModel.combined()
+    sizer = LagrangianSizer(default_technology(), variation)
+    stage_yield = stage_yield_budget(PIPELINE_YIELD_TARGET, pipeline.n_stages)
+
+    # Delay target: tight enough that every stage needs real sizing effort.
+    fastest = min(
+        sizer.stage_distribution(stage).delay_at_yield(stage_yield)
+        for stage in pipeline.stages
+    )
+    target_delay = 0.85 * fastest
+    print(f"Pipeline delay target: {target_delay * 1e12:.1f} ps, "
+          f"per-stage yield budget {stage_yield:.4f}\n")
+
+    # --- balanced baseline --------------------------------------------------
+    balanced = design_balanced_pipeline(pipeline, sizer, target_delay, PIPELINE_YIELD_TARGET)
+    print(format_table(
+        ["stage", "area (um^2)", "stage yield (%)"],
+        [
+            [name, round(area, 1), round(100.0 * y, 1)]
+            for name, area, y in zip(
+                balanced.pipeline.stage_names,
+                balanced.stage_areas(),
+                balanced.stage_yields(),
+            )
+        ],
+        title="Balanced design (every stage at the same delay target)",
+    ))
+    print()
+
+    # --- eq. 14 classification ----------------------------------------------
+    curves = {
+        stage.name: characterize_stage(stage, sizer, stage_yield, n_points=5)
+        for stage in balanced.pipeline.stages
+    }
+    print(format_table(
+        ["stage", "R_i", "eq. 14 action"],
+        [
+            [name, round(curve.sensitivity_ratio(target_delay), 2),
+             "shrink (donate area)" if curve.sensitivity_ratio(target_delay) > 1 else "grow (receive area)"]
+            for name, curve in curves.items()
+        ],
+        title="Area-delay sensitivity (eq. 14)",
+    ))
+    print()
+
+    # --- constant-area redistribution ---------------------------------------
+    designs = {"balanced": balanced.pipeline}
+    for mode in ("best", "worst"):
+        redistribution = redistribute_area(
+            balanced.pipeline, curves, sizer, target_delay, stage_yield,
+            fraction=0.10, mode=mode,
+        )
+        designs[f"unbalanced ({mode})"] = redistribution.pipeline
+
+    engine = MonteCarloEngine(variation, n_samples=3000, seed=8)
+    rows = []
+    for label, design in designs.items():
+        mc = engine.run_pipeline(design)
+        rows.append([
+            label,
+            round(design.total_area(), 1),
+            round(mc.pipeline_result().mean * 1e12, 1),
+            round(100.0 * mc.yield_at(target_delay), 1),
+        ])
+    print(format_table(
+        ["design", "total area (um^2)", "MC mean delay (ps)",
+         f"MC yield @ {target_delay*1e12:.0f} ps (%)"],
+        rows,
+        title="Balanced vs. unbalanced at (approximately) constant area (Monte-Carlo)",
+    ))
+
+
+if __name__ == "__main__":
+    main()

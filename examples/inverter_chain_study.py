@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Logic depth vs. number of stages under process variation (paper section 3.1).
+
+Reproduces the paper's Fig. 5 analysis at example scale:
+
+* variability (sigma/mu) of a single stage as a function of its logic depth,
+  under purely random intra-die variation and with inter-die variation added,
+* variability of the whole pipeline as a function of the number of stages,
+  for several cross-stage correlation values,
+* the Fig. 5(c) experiment: hold ``N_S x N_L = 120`` constant and sweep the
+  split, showing the crossover between the intra-die-dominated regime (more
+  stages hurt) and the inter-die-dominated regime (more stages help).
+
+Run:  python examples/inverter_chain_study.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import MonteCarloEngine, VariationModel, inverter_chain_pipeline
+from repro.analysis.reporting import format_series
+from repro.core.stage_delay import StageDelayDistribution
+from repro.core.variability import (
+    GateVariability,
+    normalized_series,
+    pipeline_variability_fixed_total_depth,
+    pipeline_variability_vs_stages,
+    stage_variability_vs_logic_depth,
+)
+
+
+def gate_variability_from_monte_carlo(variation: VariationModel) -> GateVariability:
+    """Calibrate the closed-form gate variance decomposition against the engine."""
+    single_gate = inverter_chain_pipeline(1, 1)
+    engine = MonteCarloEngine(variation, n_samples=4000, seed=3)
+    result = engine.run_pipeline(single_gate).stage_result(0)
+    # Split the measured sigma between the die-wide and the per-gate part
+    # according to the variation model's sigma ratios (good enough for the
+    # qualitative study; the benchmarks do the full Monte-Carlo version).
+    total = result.std
+    inter_fraction = variation.sigma_vth_inter / max(
+        variation.sigma_vth_inter + variation.sigma_vth_random, 1e-12
+    )
+    return GateVariability(
+        mu=result.mean,
+        sigma_random=total * (1.0 - inter_fraction),
+        sigma_die=total * inter_fraction,
+    )
+
+
+def main() -> None:
+    depths = [5, 10, 20, 40]
+    print("--- Stage variability vs. logic depth (Fig. 5(a)) ---")
+    series = {}
+    for label, variation in [
+        ("random intra only", VariationModel.intra_random_only()),
+        ("intra + inter (20mV)", VariationModel.combined(sigma_vth_inter=0.020)),
+        ("intra + inter (40mV)", VariationModel.combined(sigma_vth_inter=0.040)),
+    ]:
+        gate = gate_variability_from_monte_carlo(variation)
+        values = stage_variability_vs_logic_depth(gate, depths)
+        series[label] = np.round(normalized_series(values), 3)
+    print(format_series("logic depth", depths, series))
+    print()
+
+    print("--- Pipeline variability vs. number of stages (Fig. 5(b)) ---")
+    counts = [4, 8, 16, 32]
+    stage = StageDelayDistribution(200e-12, 8e-12)
+    series = {
+        f"rho = {rho}": np.round(
+            normalized_series(pipeline_variability_vs_stages(stage, counts, rho)), 3
+        )
+        for rho in (0.0, 0.2, 0.5)
+    }
+    print(format_series("number of stages", counts, series))
+    print()
+
+    print("--- Fixed total depth N_S x N_L = 120 (Fig. 5(c)) ---")
+    counts = [4, 6, 8, 12, 24]
+    series = {}
+    for label, gate in [
+        ("intra only", GateVariability(mu=10e-12, sigma_random=1.5e-12)),
+        ("inter 20mV", GateVariability(mu=10e-12, sigma_random=1.5e-12, sigma_die=0.8e-12)),
+        ("inter 40mV", GateVariability(mu=10e-12, sigma_random=1.5e-12, sigma_die=1.6e-12)),
+    ]:
+        values = pipeline_variability_fixed_total_depth(gate, 120, counts)
+        series[label] = np.round(values, 4)
+    print(format_series("number of stages", counts, series))
+    print()
+    print(
+        "Note the crossover: with only intra-die variation the sigma/mu ratio\n"
+        "rises with the stage count, while with strong inter-die variation it\n"
+        "falls -- the paper's Fig. 5(c) observation."
+    )
+
+
+if __name__ == "__main__":
+    main()

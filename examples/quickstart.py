@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Quickstart: estimate the delay distribution and yield of a simple pipeline.
+
+This walks the core loop of the paper on the Fig. 1 example shape (a 5-stage
+pipeline):
+
+1. build a pipeline of inverter-chain stages in the synthetic 70 nm node,
+2. characterise the per-stage delay distributions with the Monte-Carlo
+   engine (the SPICE stand-in),
+3. feed the stage means / sigmas / correlations into the analytical pipeline
+   delay model (Clark's max approximation, paper section 2.2),
+4. compare the analytical yield estimate with the Monte-Carlo yield
+   (paper section 2.3).
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import MonteCarloEngine, PipelineDelayModel, VariationModel, inverter_chain_pipeline
+from repro.analysis.reporting import format_table
+from repro.core.yield_model import yield_correlated
+
+
+def main() -> None:
+    # A 5-stage pipeline, each stage an 8-deep inverter chain (the paper's
+    # "5 x 8" model-verification configuration).
+    pipeline = inverter_chain_pipeline(n_stages=5, logic_depth=8)
+
+    # Inter-die + intra-die (random and spatially correlated) variation.
+    variation = VariationModel.combined()
+
+    # --- 1. Monte-Carlo characterisation (the SPICE stand-in) -------------
+    engine = MonteCarloEngine(variation, n_samples=5000, seed=1)
+    mc = engine.run_pipeline(pipeline)
+
+    rows = []
+    for name in mc.stage_names:
+        stage = mc.stage_result(name)
+        rows.append([name, stage.mean * 1e12, stage.std * 1e12, stage.variability])
+    print(format_table(
+        ["stage", "mean (ps)", "sigma (ps)", "sigma/mu"],
+        rows,
+        title="Per-stage delay distributions (Monte-Carlo)",
+    ))
+    print()
+
+    # --- 2. Analytical pipeline delay distribution -------------------------
+    stages = mc.stage_distributions()
+    correlations = mc.correlation_matrix()
+    model = PipelineDelayModel(stages, correlations)
+    estimate = model.estimate()
+    pipeline_mc = mc.pipeline_result()
+
+    print(format_table(
+        ["quantity", "Monte-Carlo", "analytical model"],
+        [
+            ["pipeline mean (ps)", pipeline_mc.mean * 1e12, estimate.mean * 1e12],
+            ["pipeline sigma (ps)", pipeline_mc.std * 1e12, estimate.std * 1e12],
+            ["sigma/mu", pipeline_mc.variability, estimate.variability],
+        ],
+        title="Pipeline delay: T_P = max_i SD_i",
+    ))
+    print()
+
+    # --- 3. Yield at a target clock period ---------------------------------
+    target = float(np.quantile(mc.pipeline_samples, 0.85))
+    rows = [
+        ["Monte-Carlo", 100.0 * mc.yield_at(target)],
+        ["Gaussian T_P approximation (eq. 9)", 100.0 * yield_correlated(stages, target, correlations)],
+    ]
+    print(format_table(
+        ["estimator", f"yield @ {target * 1e12:.1f} ps (%)"],
+        rows,
+        title="Yield estimation",
+    ))
+    print()
+    print(
+        "The clock period this pipeline can run at with 90 % yield is "
+        f"{estimate.delay_at_yield(0.90) * 1e12:.1f} ps."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""repro: statistical pipeline delay modeling and yield-driven pipeline design.
+
+Reproduction of Datta, Bhunia, Mukhopadhyay, Banerjee and Roy,
+"Statistical Modeling of Pipeline Delay and Design of Pipeline under Process
+Variation to Enhance Yield in sub-100nm Technologies", DATE 2005.
+
+Subpackages
+-----------
+core
+    The paper's analytical contribution: Clark-based pipeline delay
+    distribution estimation, yield models, design-space bounds, variability
+    and imbalance analyses.
+process
+    Technology constants and the inter-die / intra-die random / intra-die
+    systematic variation model with spatial correlation.
+circuit
+    Cell library, netlist DAG, sequential-element timing, circuit generators
+    and synthetic ISCAS85 stand-ins.
+timing
+    Gate delay model, deterministic STA and canonical-form SSTA.
+montecarlo
+    The SPICE-Monte-Carlo stand-in: vectorised sampling of stage and pipeline
+    delays.
+pipeline
+    Pipeline stages, floorplanning and builders for the paper's designs.
+optimize
+    Statistical gate sizing (Lagrangian-relaxation and greedy), balanced
+    design, imbalance redistribution and the Fig. 9 global pipeline
+    optimization flow.
+analysis
+    Histogram, error-metric and report-formatting helpers shared by the
+    benchmark harness.
+"""
+
+from repro.core.pipeline_delay import PipelineDelayEstimate, PipelineDelayModel
+from repro.core.stage_delay import StageDelayDistribution
+from repro.core.yield_model import (
+    yield_correlated,
+    yield_from_samples,
+    yield_independent,
+)
+from repro.montecarlo.engine import MonteCarloEngine
+from repro.pipeline.builder import (
+    alu_decoder_pipeline,
+    inverter_chain_pipeline,
+    iscas_pipeline,
+)
+from repro.pipeline.pipeline import Pipeline
+from repro.pipeline.stage import PipelineStage
+from repro.process.technology import Technology, default_technology
+from repro.process.variation import VariationModel
+from repro.timing.ssta import StatisticalTimingAnalyzer
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "StageDelayDistribution",
+    "PipelineDelayModel",
+    "PipelineDelayEstimate",
+    "yield_independent",
+    "yield_correlated",
+    "yield_from_samples",
+    "MonteCarloEngine",
+    "Pipeline",
+    "PipelineStage",
+    "inverter_chain_pipeline",
+    "iscas_pipeline",
+    "alu_decoder_pipeline",
+    "Technology",
+    "default_technology",
+    "VariationModel",
+    "StatisticalTimingAnalyzer",
+]

@@ -1,0 +1,26 @@
+"""Experiment-level analysis utilities.
+
+Shared helpers for the benchmark harness and examples:
+
+* :mod:`repro.analysis.histogram` -- normalised histograms and
+  distribution-overlay series (the Fig. 2 / Fig. 7(a) plots as data tables),
+* :mod:`repro.analysis.error_metrics` -- model-vs-Monte-Carlo error metrics
+  (percent error in mean / sigma / yield),
+* :mod:`repro.analysis.reporting` -- plain-text tables and series renderers
+  so every benchmark prints the same rows/series the paper's tables and
+  figures report.
+"""
+
+from repro.analysis.error_metrics import ModelErrorReport, compare_model_to_samples, percent_error
+from repro.analysis.histogram import distribution_series, histogram_series
+from repro.analysis.reporting import format_series, format_table
+
+__all__ = [
+    "percent_error",
+    "compare_model_to_samples",
+    "ModelErrorReport",
+    "histogram_series",
+    "distribution_series",
+    "format_table",
+    "format_series",
+]

@@ -1,0 +1,75 @@
+"""Model-vs-Monte-Carlo error metrics.
+
+The paper validates its analytical models by comparing the predicted mean,
+standard deviation and yield against SPICE Monte-Carlo (Table I, Fig. 3).
+These helpers compute the same comparisons against this repo's Monte-Carlo
+engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def percent_error(estimate: float, reference: float) -> float:
+    """Percent error of an estimate against a reference value.
+
+    Returns 0 when both values are zero; raises if only the reference is zero
+    (the error would be undefined).
+    """
+    if reference == 0.0:
+        if estimate == 0.0:
+            return 0.0
+        raise ValueError("percent error undefined for a zero reference value")
+    return 100.0 * abs(estimate - reference) / abs(reference)
+
+
+@dataclass(frozen=True)
+class ModelErrorReport:
+    """Comparison of an analytical estimate against Monte-Carlo samples."""
+
+    model_mean: float
+    model_std: float
+    mc_mean: float
+    mc_std: float
+    mean_error_percent: float
+    std_error_percent: float
+    model_yield: float | None = None
+    mc_yield: float | None = None
+
+    @property
+    def yield_error_points(self) -> float | None:
+        """Absolute yield error in percentage points (None when not computed)."""
+        if self.model_yield is None or self.mc_yield is None:
+            return None
+        return abs(self.model_yield - self.mc_yield) * 100.0
+
+
+def compare_model_to_samples(
+    model_mean: float,
+    model_std: float,
+    samples: np.ndarray,
+    target_delay: float | None = None,
+    model_yield: float | None = None,
+) -> ModelErrorReport:
+    """Build a :class:`ModelErrorReport` from model moments and MC samples."""
+    samples = np.asarray(samples, dtype=float)
+    if samples.ndim != 1 or samples.size < 2:
+        raise ValueError("need a 1-D array of at least two samples")
+    mc_mean = float(samples.mean())
+    mc_std = float(samples.std(ddof=1))
+    mc_yield = None
+    if target_delay is not None:
+        mc_yield = float((samples <= target_delay).mean())
+    return ModelErrorReport(
+        model_mean=model_mean,
+        model_std=model_std,
+        mc_mean=mc_mean,
+        mc_std=mc_std,
+        mean_error_percent=percent_error(model_mean, mc_mean),
+        std_error_percent=percent_error(model_std, mc_std),
+        model_yield=model_yield,
+        mc_yield=mc_yield,
+    )

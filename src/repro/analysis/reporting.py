@@ -1,0 +1,71 @@
+"""Plain-text table and series rendering for the benchmark harness.
+
+Every benchmark prints the rows of its paper table (or the series of its
+paper figure) through these helpers so the output format is uniform and easy
+to diff against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float) or isinstance(value, np.floating):
+        if value == 0.0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1000.0 or magnitude < 0.01:
+            return f"{value:.3e}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render rows as a fixed-width plain-text table."""
+    string_rows = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in string_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[index]) for index, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(list(headers)))
+    lines.append("-+-".join("-" * width for width in widths))
+    lines.extend(render_row(row) for row in string_rows)
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: dict[str, Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render one figure's data as a table with the x axis in the first column."""
+    headers = [x_label, *series.keys()]
+    columns = [list(values) for values in series.values()]
+    for name, column in zip(series.keys(), columns):
+        if len(column) != len(x_values):
+            raise ValueError(
+                f"series {name!r} has {len(column)} values for {len(x_values)} x points"
+            )
+    rows = [
+        [x, *[column[index] for column in columns]] for index, x in enumerate(x_values)
+    ]
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,48 @@
+"""Gate-level circuit substrate.
+
+The paper's pipelines are built from transistor-level SPICE netlists
+(inverter chains for model verification, ISCAS85 benchmark circuits and an
+ALU/decoder design for the optimization experiments).  This subpackage is
+the gate-level stand-in:
+
+* :mod:`repro.circuit.cell_library` -- a logical-effort-style standard-cell
+  library (INV, NAND, NOR, AOI/OAI, XOR, BUF) with size-dependent area,
+  input capacitance and drive strength.
+* :mod:`repro.circuit.netlist` -- the :class:`Netlist` DAG of sized,
+  placed gates, plus topological traversal, load computation and area
+  accounting.
+* :mod:`repro.circuit.flipflop` -- timing model of the sequential elements
+  (clock-to-Q plus setup), expressed as an equivalent inverter chain so it
+  participates in process variation like any other logic.
+* :mod:`repro.circuit.generators` -- deterministic circuit generators:
+  inverter chains, depth-controlled random logic, ALU and decoder blocks.
+* :mod:`repro.circuit.iscas` -- synthetic stand-ins for the ISCAS85
+  benchmarks (c432, c1908, c2670, c3540) matched in gate count, depth and
+  I/O count to the published circuits.
+"""
+
+from repro.circuit.cell_library import Cell, CellLibrary, standard_cell_library
+from repro.circuit.netlist import Gate, Netlist
+from repro.circuit.flipflop import FlipFlopTiming
+from repro.circuit.generators import (
+    alu_block,
+    decoder_block,
+    inverter_chain,
+    random_logic_block,
+)
+from repro.circuit.iscas import ISCAS_PROFILES, iscas_benchmark
+
+__all__ = [
+    "Cell",
+    "CellLibrary",
+    "standard_cell_library",
+    "Gate",
+    "Netlist",
+    "FlipFlopTiming",
+    "inverter_chain",
+    "random_logic_block",
+    "alu_block",
+    "decoder_block",
+    "iscas_benchmark",
+    "ISCAS_PROFILES",
+]

@@ -1,0 +1,120 @@
+"""Sequential-element (flip-flop) timing model.
+
+Every pipeline stage delay in the paper is
+
+    SD_i = T_C-Q + T_comb + T_setup
+
+where ``T_C-Q`` and ``T_setup`` come from the transmission-gate master-slave
+flip-flops used in the SPICE experiments.  We model the sequential overhead
+as an *equivalent inverter chain*: the clock-to-Q path behaves like a few
+inverter delays and the setup window like a couple more.  Because the
+overhead is expressed in equivalent gate delays, it automatically scales
+with the technology time constant and participates in process variation
+exactly like the combinational logic does (its Vth deviation is sampled per
+stage boundary).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.process.technology import Technology
+
+
+@dataclass(frozen=True)
+class FlipFlopTiming:
+    """Timing model of the pipeline's sequential elements.
+
+    Parameters
+    ----------
+    clk_to_q_stages:
+        Number of equivalent fanout-of-4 inverter delays that make up the
+        clock-to-Q delay.
+    setup_stages:
+        Number of equivalent fanout-of-4 inverter delays in the setup window.
+    size:
+        Drive size of the equivalent devices (affects the random variation
+        component through the RDF 1/sqrt(size) scaling).
+    fanout:
+        Electrical fanout assumed for each equivalent inverter delay.
+    """
+
+    clk_to_q_stages: float = 2.0
+    setup_stages: float = 1.25
+    size: float = 2.0
+    fanout: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.clk_to_q_stages < 0.0 or self.setup_stages < 0.0:
+            raise ValueError("equivalent stage counts must be non-negative")
+        if self.size <= 0.0:
+            raise ValueError(f"size must be positive, got {self.size}")
+        if self.fanout <= 0.0:
+            raise ValueError(f"fanout must be positive, got {self.fanout}")
+
+    @property
+    def total_stages(self) -> float:
+        """Total equivalent inverter delays (C-Q plus setup)."""
+        return self.clk_to_q_stages + self.setup_stages
+
+    def _unit_delay(self, technology: Technology) -> float:
+        """Delay of one equivalent inverter at the configured fanout, seconds."""
+        r = technology.r_unit / self.size
+        c_par = technology.c_par_unit * self.size
+        c_load = technology.c_unit * self.size * self.fanout
+        return r * (c_par + c_load)
+
+    def nominal_overhead(self, technology: Technology) -> float:
+        """Nominal ``T_C-Q + T_setup`` in seconds at nominal process."""
+        return self.total_stages * self._unit_delay(technology)
+
+    def nominal_clk_to_q(self, technology: Technology) -> float:
+        """Nominal clock-to-Q delay in seconds."""
+        return self.clk_to_q_stages * self._unit_delay(technology)
+
+    def nominal_setup(self, technology: Technology) -> float:
+        """Nominal setup time in seconds."""
+        return self.setup_stages * self._unit_delay(technology)
+
+    def overhead_samples(
+        self,
+        technology: Technology,
+        vth_samples: np.ndarray,
+        length_samples: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Sequential overhead under sampled process parameters.
+
+        Parameters
+        ----------
+        technology:
+            Technology node.
+        vth_samples:
+            Threshold-voltage samples for the flip-flop's equivalent device,
+            any shape (typically ``(n_samples,)``).
+        length_samples:
+            Optional channel-length samples (same shape); defaults to the
+            nominal length.
+
+        Returns
+        -------
+        numpy.ndarray
+            Overhead delays in seconds, same shape as ``vth_samples``.
+        """
+        vth_samples = np.asarray(vth_samples, dtype=float)
+        if length_samples is None:
+            length_ratio = 1.0
+        else:
+            length_ratio = np.asarray(length_samples, dtype=float) / technology.lmin
+        overdrive_ratio = technology.gate_overdrive / (technology.vdd - vth_samples)
+        drive_factor = overdrive_ratio**technology.alpha * length_ratio
+        return self.nominal_overhead(technology) * drive_factor
+
+    def area(self, technology: Technology) -> float:
+        """Approximate layout area of one flip-flop in square micrometres.
+
+        A master-slave flip-flop is roughly the area of six to eight
+        inverters of its drive size; we use seven.
+        """
+        return 7.0 * technology.area_unit * self.size

@@ -1,0 +1,455 @@
+"""Gate-level netlist representation.
+
+A :class:`Netlist` is a directed acyclic graph of sized, placed standard
+cells.  It is the object every other substrate operates on: the deterministic
+and statistical timers walk it in topological order, the Monte-Carlo engine
+samples one set of process parameters per gate, and the sizers mutate gate
+sizes in place.
+
+Design notes
+------------
+* Gates and primary inputs are identified by string names; primary inputs
+  are modelled as zero-delay sources.
+* The netlist caches index arrays (sizes, cell coefficients, fanin/fanout
+  index lists) used by the vectorised timing code; the caches are rebuilt
+  lazily whenever the structure changes and refreshed cheaply when only
+  sizes change.
+* Placement is in normalised die coordinates ([0, 1] x [0, 1]).  A helper
+  places gates by logic level inside an arbitrary rectangular region so a
+  pipeline can lay its stages side by side across the die, which is what
+  gives stages *partial* spatial correlation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.circuit.cell_library import CellLibrary, standard_cell_library
+from repro.process.technology import Technology, default_technology
+
+
+@dataclass
+class Gate:
+    """One sized, placed cell instance.
+
+    Attributes
+    ----------
+    name:
+        Unique gate name within the netlist.
+    cell:
+        Name of the cell type in the library (e.g. ``"NAND2"``).
+    fanins:
+        Names of the driving nodes (gates or primary inputs), in pin order.
+    size:
+        Drive strength in multiples of a minimum-size device.
+    x, y:
+        Placement in normalised die coordinates.
+    """
+
+    name: str
+    cell: str
+    fanins: tuple[str, ...]
+    size: float = 1.0
+    x: float = 0.5
+    y: float = 0.5
+
+
+class Netlist:
+    """A combinational gate-level netlist (DAG of cells).
+
+    Parameters
+    ----------
+    name:
+        Netlist name, used in reports.
+    library:
+        Cell library the gates are drawn from.  Defaults to the standard
+        library.
+    technology:
+        Technology node used for capacitance/area/delay computations.
+    default_output_load:
+        Capacitive load (in farads) attached to each primary output, on top
+        of any internal fanout.  Defaults to the input capacitance of a
+        size-2 inverter, approximating the downstream flip-flop data pin.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        library: CellLibrary | None = None,
+        technology: Technology | None = None,
+        default_output_load: float | None = None,
+    ) -> None:
+        self.name = name
+        self.library = library if library is not None else standard_cell_library()
+        self.technology = technology if technology is not None else default_technology()
+        if default_output_load is None:
+            default_output_load = 2.0 * self.technology.c_unit
+        self.default_output_load = float(default_output_load)
+
+        self._gates: dict[str, Gate] = {}
+        self._primary_inputs: list[str] = []
+        self._primary_outputs: list[str] = []
+        self._dirty = True
+
+        # Caches built by _rebuild()
+        self._order: list[str] = []
+        self._index: dict[str, int] = {}
+        self._fanin_indices: list[list[int]] = []
+        self._fanout_indices: list[list[int]] = []
+        self._is_po: np.ndarray = np.zeros(0, dtype=bool)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_primary_input(self, name: str) -> None:
+        """Declare a primary input node."""
+        if name in self._gates or name in self._primary_inputs:
+            raise ValueError(f"node {name!r} already exists in netlist {self.name!r}")
+        self._primary_inputs.append(name)
+        self._dirty = True
+
+    def add_gate(
+        self,
+        name: str,
+        cell: str,
+        fanins: list[str] | tuple[str, ...],
+        size: float = 1.0,
+        x: float = 0.5,
+        y: float = 0.5,
+    ) -> Gate:
+        """Add a gate driven by the named fanin nodes and return it."""
+        if name in self._gates or name in self._primary_inputs:
+            raise ValueError(f"node {name!r} already exists in netlist {self.name!r}")
+        if cell not in self.library:
+            raise KeyError(f"cell {cell!r} not in library for netlist {self.name!r}")
+        cell_obj = self.library[cell]
+        fanins = tuple(fanins)
+        if len(fanins) != cell_obj.n_inputs:
+            raise ValueError(
+                f"gate {name!r}: cell {cell} expects {cell_obj.n_inputs} fanins, "
+                f"got {len(fanins)}"
+            )
+        for fanin in fanins:
+            if fanin not in self._gates and fanin not in self._primary_inputs:
+                raise KeyError(
+                    f"gate {name!r}: fanin {fanin!r} is not a known gate or primary input"
+                )
+        if size <= 0.0:
+            raise ValueError(f"gate {name!r}: size must be positive, got {size}")
+        gate = Gate(name=name, cell=cell, fanins=fanins, size=float(size), x=x, y=y)
+        self._gates[name] = gate
+        self._dirty = True
+        return gate
+
+    def mark_primary_output(self, name: str) -> None:
+        """Mark a gate as a primary output of the block."""
+        if name not in self._gates:
+            raise KeyError(f"cannot mark unknown gate {name!r} as primary output")
+        if name not in self._primary_outputs:
+            self._primary_outputs.append(name)
+            self._dirty = True
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+    @property
+    def gates(self) -> dict[str, Gate]:
+        """Mapping of gate name to :class:`Gate` (insertion ordered)."""
+        return self._gates
+
+    @property
+    def primary_inputs(self) -> list[str]:
+        """Names of the primary inputs."""
+        return list(self._primary_inputs)
+
+    @property
+    def primary_outputs(self) -> list[str]:
+        """Names of the gates marked as primary outputs."""
+        return list(self._primary_outputs)
+
+    @property
+    def n_gates(self) -> int:
+        """Number of gates (excluding primary inputs)."""
+        return len(self._gates)
+
+    def __len__(self) -> int:
+        return len(self._gates)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._gates
+
+    def gate(self, name: str) -> Gate:
+        """Look up a gate by name."""
+        try:
+            return self._gates[name]
+        except KeyError:
+            raise KeyError(f"no gate named {name!r} in netlist {self.name!r}") from None
+
+    # ------------------------------------------------------------------
+    # Structure caches
+    # ------------------------------------------------------------------
+    def _rebuild(self) -> None:
+        """Rebuild topological order, index maps and fanin/fanout caches."""
+        order: list[str] = []
+        index: dict[str, int] = {}
+        in_degree: dict[str, int] = {}
+        dependents: dict[str, list[str]] = {name: [] for name in self._primary_inputs}
+        for gate in self._gates.values():
+            dependents.setdefault(gate.name, [])
+            gate_fanin_count = 0
+            for fanin in gate.fanins:
+                if fanin in self._gates:
+                    gate_fanin_count += 1
+                dependents.setdefault(fanin, []).append(gate.name)
+            in_degree[gate.name] = gate_fanin_count
+
+        ready = [name for name, degree in in_degree.items() if degree == 0]
+        ready.sort()
+        position = 0
+        ready_set = list(ready)
+        while position < len(ready_set):
+            name = ready_set[position]
+            position += 1
+            index[name] = len(order)
+            order.append(name)
+            for successor in dependents.get(name, []):
+                in_degree[successor] -= 1
+                if in_degree[successor] == 0:
+                    ready_set.append(successor)
+
+        if len(order) != len(self._gates):
+            unresolved = sorted(set(self._gates) - set(order))
+            raise ValueError(
+                f"netlist {self.name!r} contains a combinational cycle involving "
+                f"{unresolved[:5]}{'...' if len(unresolved) > 5 else ''}"
+            )
+
+        fanin_indices: list[list[int]] = []
+        fanout_indices: list[list[int]] = [[] for _ in order]
+        for name in order:
+            gate = self._gates[name]
+            fanins = [index[f] for f in gate.fanins if f in self._gates]
+            fanin_indices.append(fanins)
+        for gate_pos, fanins in enumerate(fanin_indices):
+            for fanin_pos in fanins:
+                fanout_indices[fanin_pos].append(gate_pos)
+
+        is_po = np.zeros(len(order), dtype=bool)
+        for name in self._primary_outputs:
+            is_po[index[name]] = True
+
+        self._order = order
+        self._index = index
+        self._fanin_indices = fanin_indices
+        self._fanout_indices = fanout_indices
+        self._is_po = is_po
+        self._dirty = False
+
+    def _ensure_current(self) -> None:
+        if self._dirty:
+            self._rebuild()
+
+    def topological_order(self) -> list[str]:
+        """Gate names in a valid topological (fanin-before-fanout) order."""
+        self._ensure_current()
+        return list(self._order)
+
+    def gate_index(self) -> dict[str, int]:
+        """Mapping from gate name to its position in topological order."""
+        self._ensure_current()
+        return dict(self._index)
+
+    def fanin_indices(self) -> list[list[int]]:
+        """Per-gate list of fanin positions (topological indexing)."""
+        self._ensure_current()
+        return self._fanin_indices
+
+    def fanout_indices(self) -> list[list[int]]:
+        """Per-gate list of fanout positions (topological indexing)."""
+        self._ensure_current()
+        return self._fanout_indices
+
+    def output_mask(self) -> np.ndarray:
+        """Boolean mask (topological indexing) of primary-output gates."""
+        self._ensure_current()
+        return self._is_po.copy()
+
+    # ------------------------------------------------------------------
+    # Vectorised attribute access (topological indexing)
+    # ------------------------------------------------------------------
+    def sizes(self) -> np.ndarray:
+        """Gate sizes as an array in topological order."""
+        self._ensure_current()
+        return np.array([self._gates[name].size for name in self._order])
+
+    def set_sizes(self, sizes: np.ndarray) -> None:
+        """Assign gate sizes from an array in topological order."""
+        self._ensure_current()
+        sizes = np.asarray(sizes, dtype=float)
+        if sizes.shape != (len(self._order),):
+            raise ValueError(
+                f"expected {len(self._order)} sizes, got array of shape {sizes.shape}"
+            )
+        if np.any(sizes <= 0.0):
+            raise ValueError("all gate sizes must be positive")
+        for name, size in zip(self._order, sizes):
+            self._gates[name].size = float(size)
+
+    def positions(self) -> tuple[np.ndarray, np.ndarray]:
+        """Gate placement coordinates (x, y) in topological order."""
+        self._ensure_current()
+        xs = np.array([self._gates[name].x for name in self._order])
+        ys = np.array([self._gates[name].y for name in self._order])
+        return xs, ys
+
+    def cell_coefficients(self) -> dict[str, np.ndarray]:
+        """Per-gate cell coefficients (topological order).
+
+        Returns a dict with arrays ``logical_effort``, ``parasitic_delay``,
+        ``area_factor`` and ``n_inputs``.
+        """
+        self._ensure_current()
+        cells = [self.library[self._gates[name].cell] for name in self._order]
+        return {
+            "logical_effort": np.array([c.logical_effort for c in cells]),
+            "parasitic_delay": np.array([c.parasitic_delay for c in cells]),
+            "area_factor": np.array([c.area_factor for c in cells]),
+            "n_inputs": np.array([c.n_inputs for c in cells]),
+        }
+
+    def load_capacitances(self, sizes: np.ndarray | None = None) -> np.ndarray:
+        """Output load of every gate in farads (topological order).
+
+        The load is the sum of the input capacitances of the fanout gates
+        plus ``default_output_load`` for gates marked as primary outputs.
+
+        Parameters
+        ----------
+        sizes:
+            Optional size vector to evaluate loads at (without mutating the
+            netlist); defaults to the current gate sizes.
+        """
+        self._ensure_current()
+        if sizes is None:
+            sizes = self.sizes()
+        else:
+            sizes = np.asarray(sizes, dtype=float)
+        coeffs = self.cell_coefficients()
+        pin_caps = coeffs["logical_effort"] * self.technology.c_unit * sizes
+        loads = np.zeros(len(self._order))
+        for gate_pos, fanouts in enumerate(self._fanout_indices):
+            if fanouts:
+                loads[gate_pos] = pin_caps[fanouts].sum()
+        loads[self._is_po] += self.default_output_load
+        # Gates with no fanout and not marked as outputs still drive something
+        # downstream in a real design; give them the default load so their
+        # delay is finite and size-sensitive.
+        dangling = np.array(
+            [not fanouts for fanouts in self._fanout_indices], dtype=bool
+        ) & ~self._is_po
+        loads[dangling] += self.default_output_load
+        return loads
+
+    # ------------------------------------------------------------------
+    # Aggregate properties
+    # ------------------------------------------------------------------
+    def total_area(self, sizes: np.ndarray | None = None) -> float:
+        """Total layout area in square micrometres."""
+        self._ensure_current()
+        if sizes is None:
+            sizes = self.sizes()
+        coeffs = self.cell_coefficients()
+        return float(
+            (coeffs["area_factor"] * self.technology.area_unit * np.asarray(sizes)).sum()
+        )
+
+    def logic_depth(self) -> int:
+        """Maximum number of gates on any input-to-output path."""
+        self._ensure_current()
+        depth = np.zeros(len(self._order), dtype=int)
+        for gate_pos, fanins in enumerate(self._fanin_indices):
+            if fanins:
+                depth[gate_pos] = max(depth[f] for f in fanins) + 1
+            else:
+                depth[gate_pos] = 1
+        return int(depth.max()) if len(depth) else 0
+
+    def levels(self) -> np.ndarray:
+        """Logic level of every gate (topological order), starting at 1."""
+        self._ensure_current()
+        depth = np.zeros(len(self._order), dtype=int)
+        for gate_pos, fanins in enumerate(self._fanin_indices):
+            if fanins:
+                depth[gate_pos] = max(depth[f] for f in fanins) + 1
+            else:
+                depth[gate_pos] = 1
+        return depth
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+    def auto_place(
+        self,
+        region: tuple[float, float, float, float] = (0.0, 0.0, 1.0, 1.0),
+    ) -> None:
+        """Place gates by logic level inside a rectangular die region.
+
+        Gates at the same level are spread vertically; successive levels
+        advance horizontally across the region.  This gives a physically
+        plausible layout in which gates that are logically close are also
+        spatially close, which is what couples logic structure to the
+        spatially correlated variation component.
+
+        Parameters
+        ----------
+        region:
+            ``(x0, y0, x1, y1)`` rectangle in normalised die coordinates.
+        """
+        x0, y0, x1, y1 = region
+        if not (0.0 <= x0 < x1 <= 1.0 and 0.0 <= y0 < y1 <= 1.0):
+            raise ValueError(f"invalid placement region {region}")
+        self._ensure_current()
+        levels = self.levels()
+        max_level = int(levels.max()) if len(levels) else 1
+        counts_per_level: dict[int, int] = {}
+        seen_per_level: dict[int, int] = {}
+        for level in levels:
+            counts_per_level[int(level)] = counts_per_level.get(int(level), 0) + 1
+        for name, level in zip(self._order, levels):
+            level = int(level)
+            position_in_level = seen_per_level.get(level, 0)
+            seen_per_level[level] = position_in_level + 1
+            count = counts_per_level[level]
+            gate = self._gates[name]
+            gate.x = x0 + (x1 - x0) * (level - 0.5) / max_level
+            gate.y = y0 + (y1 - y0) * (position_in_level + 0.5) / count
+
+    # ------------------------------------------------------------------
+    # Copying
+    # ------------------------------------------------------------------
+    def copy(self, name: str | None = None) -> "Netlist":
+        """Deep copy of the netlist (gates, sizes, placement, outputs)."""
+        clone = Netlist(
+            name if name is not None else self.name,
+            library=self.library,
+            technology=self.technology,
+            default_output_load=self.default_output_load,
+        )
+        for pi in self._primary_inputs:
+            clone.add_primary_input(pi)
+        for gate in self._gates.values():
+            clone.add_gate(
+                gate.name, gate.cell, gate.fanins, size=gate.size, x=gate.x, y=gate.y
+            )
+        for po in self._primary_outputs:
+            clone.mark_primary_output(po)
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Netlist({self.name!r}, gates={self.n_gates}, "
+            f"inputs={len(self._primary_inputs)}, outputs={len(self._primary_outputs)}, "
+            f"depth={self.logic_depth()})"
+        )

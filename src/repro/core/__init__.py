@@ -1,0 +1,72 @@
+"""The paper's primary contribution: statistical pipeline delay and yield models.
+
+* :mod:`repro.core.clark` -- Clark's moment-matching approximation for the
+  maximum of (correlated) Gaussian random variables (paper eqs. 4-6),
+  including the correlation-propagation step and the increasing-mean
+  ordering that minimises approximation error.
+* :mod:`repro.core.stage_delay` -- the per-stage delay abstraction
+  ``SD_i = T_C-Q + T_comb + T_setup`` as a Gaussian distribution, with
+  constructors from Monte-Carlo samples and from SSTA canonical forms.
+* :mod:`repro.core.pipeline_delay` -- estimation of the overall pipeline
+  delay distribution ``T_P = max_i SD_i`` (section 2.2), including the
+  Jensen lower bound on the mean (eq. 3).
+* :mod:`repro.core.yield_model` -- yield estimators (section 2.3, eqs. 7-9):
+  exact product form for independent stages, Gaussian approximation for
+  correlated stages, and empirical yield from samples.
+* :mod:`repro.core.design_space` -- the permissible (mu_i, sigma_i) design
+  space for a target yield (section 2.5, eqs. 10-13 and Fig. 4).
+* :mod:`repro.core.variability` -- logic-depth / stage-count variability
+  analyses of section 3.1 (Fig. 5).
+* :mod:`repro.core.imbalance` -- balanced-vs-unbalanced pipeline analysis
+  and the area-delay sensitivity heuristic R_i (section 3.2, eq. 14).
+"""
+
+from repro.core.clark import (
+    MaxResult,
+    correlation_with_max,
+    max_of_gaussians,
+    max_of_two_gaussians,
+)
+from repro.core.stage_delay import StageDelayDistribution
+from repro.core.pipeline_delay import PipelineDelayModel, PipelineDelayEstimate
+from repro.core.yield_model import (
+    yield_correlated,
+    yield_from_samples,
+    yield_independent,
+    target_delay_for_yield,
+)
+from repro.core.design_space import DesignSpace, DesignSpaceRegion
+from repro.core.variability import (
+    normalized_series,
+    pipeline_variability_vs_stages,
+    stage_variability_vs_logic_depth,
+)
+from repro.core.imbalance import (
+    StageAreaDelaySensitivity,
+    classify_stages,
+    pipeline_yield_from_stage_yields,
+    sensitivity_ratio,
+)
+
+__all__ = [
+    "MaxResult",
+    "max_of_two_gaussians",
+    "max_of_gaussians",
+    "correlation_with_max",
+    "StageDelayDistribution",
+    "PipelineDelayModel",
+    "PipelineDelayEstimate",
+    "yield_independent",
+    "yield_correlated",
+    "yield_from_samples",
+    "target_delay_for_yield",
+    "DesignSpace",
+    "DesignSpaceRegion",
+    "stage_variability_vs_logic_depth",
+    "pipeline_variability_vs_stages",
+    "normalized_series",
+    "sensitivity_ratio",
+    "classify_stages",
+    "pipeline_yield_from_stage_yields",
+    "StageAreaDelaySensitivity",
+]

@@ -1,0 +1,151 @@
+"""Balanced vs. unbalanced pipeline analysis (paper section 3.2, eq. 14).
+
+A perfectly balanced pipeline maximises throughput deterministically, but
+under process variation it also maximises the number of (near-)critical
+stages: every stage sits right at the target, so every stage is another
+chance to fail it.  The paper shows that deliberately *unbalancing* the
+stage delays -- slowing down stages whose area-vs-delay curve is steep
+(cheap to slow down) and spending the recovered area to speed up stages
+whose curve is shallow -- can raise the pipeline yield at constant area.
+
+The decision heuristic is eq. 14: compute for each stage the rate of change
+of area with delay,
+
+    R_i = | dA_i / dD_i |   (evaluated as an elasticity, see below),
+
+then prefer to *slow down / shrink* stages with ``R_i > 1`` (a large area
+saving costs little delay) and to *speed up / grow* stages with ``R_i < 1``
+(a small area investment buys a lot of delay).  Because area and delay have
+different units we evaluate the ratio as an elasticity
+``(dA/A) / (dD/D)`` so that "1" is a meaningful threshold, which is how the
+paper's prose ("reduction in large area results in small increase in
+delay") reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+
+class StageAction(Enum):
+    """What the eq. 14 heuristic recommends doing with a stage."""
+
+    SHRINK = "shrink"
+    GROW = "grow"
+    NEUTRAL = "neutral"
+
+
+@dataclass(frozen=True)
+class StageAreaDelaySensitivity:
+    """Eq. 14 sensitivity record for one stage."""
+
+    name: str
+    ratio: float
+    action: StageAction
+
+    @property
+    def is_cheap_to_slow_down(self) -> bool:
+        """True when slowing the stage recovers a lot of area (R_i > 1)."""
+        return self.action is StageAction.SHRINK
+
+
+def sensitivity_ratio(
+    areas: np.ndarray,
+    delays: np.ndarray,
+    at_delay: float | None = None,
+) -> float:
+    """Area-delay sensitivity R_i of a stage from its area-vs-delay curve.
+
+    Parameters
+    ----------
+    areas, delays:
+        Sampled points of the stage's area-vs-delay trade-off curve (as
+        produced by sizing the stage for a sweep of delay targets).  They do
+        not need to be sorted.
+    at_delay:
+        Delay at which to evaluate the local slope; defaults to the midpoint
+        of the sampled delay range.
+
+    Returns
+    -------
+    float
+        The elasticity ``|dA/A| / |dD/D|`` evaluated at ``at_delay``.
+    """
+    areas = np.asarray(areas, dtype=float)
+    delays = np.asarray(delays, dtype=float)
+    if areas.shape != delays.shape or areas.ndim != 1:
+        raise ValueError("areas and delays must be 1-D arrays of the same length")
+    if areas.size < 2:
+        raise ValueError("need at least two points on the area-delay curve")
+    if np.any(areas <= 0.0) or np.any(delays <= 0.0):
+        raise ValueError("areas and delays must be positive to form an elasticity")
+    order = np.argsort(delays)
+    delays = delays[order]
+    areas = areas[order]
+    if at_delay is None:
+        at_delay = float(0.5 * (delays[0] + delays[-1]))
+    at_delay = float(np.clip(at_delay, delays[0], delays[-1]))
+
+    slope = np.gradient(areas, delays)
+    local_slope = float(np.interp(at_delay, delays, slope))
+    local_area = float(np.interp(at_delay, delays, areas))
+    if local_area <= 0.0 or at_delay <= 0.0:
+        raise ValueError("areas and delays must be positive to form an elasticity")
+    return abs(local_slope) * at_delay / local_area
+
+
+def classify_stage(name: str, ratio: float, tolerance: float = 0.05) -> StageAreaDelaySensitivity:
+    """Classify one stage according to the eq. 14 heuristic."""
+    if ratio < 0.0:
+        raise ValueError(f"sensitivity ratio must be non-negative, got {ratio}")
+    if ratio > 1.0 + tolerance:
+        action = StageAction.SHRINK
+    elif ratio < 1.0 - tolerance:
+        action = StageAction.GROW
+    else:
+        action = StageAction.NEUTRAL
+    return StageAreaDelaySensitivity(name=name, ratio=ratio, action=action)
+
+
+def classify_stages(
+    ratios: dict[str, float], tolerance: float = 0.05
+) -> list[StageAreaDelaySensitivity]:
+    """Classify every stage and return records sorted by descending ratio.
+
+    Sorting by descending R_i is the stage-processing order the global
+    optimization algorithm (Fig. 9) uses when its goal is area recovery:
+    stages whose area is cheapest to convert into delay go first.
+    """
+    records = [classify_stage(name, ratio, tolerance) for name, ratio in ratios.items()]
+    records.sort(key=lambda record: record.ratio, reverse=True)
+    return records
+
+
+def pipeline_yield_from_stage_yields(stage_yields: list[float] | np.ndarray) -> float:
+    """Pipeline yield as the product of independent per-stage yields.
+
+    This is the quantity the paper's imbalance argument manipulates: starting
+    from a balanced design with per-stage yield ``Y0`` (pipeline yield
+    ``Y0**N``), imbalance trades the yields ``Y_i`` of individual stages so
+    that their product exceeds ``Y0**N``.
+    """
+    stage_yields = np.asarray(stage_yields, dtype=float)
+    if stage_yields.ndim != 1 or stage_yields.size == 0:
+        raise ValueError("need a non-empty 1-D array of stage yields")
+    if np.any((stage_yields < 0.0) | (stage_yields > 1.0)):
+        raise ValueError("stage yields must lie in [0, 1]")
+    return float(np.prod(stage_yields))
+
+
+def imbalance_improves_yield(
+    balanced_stage_yield: float, unbalanced_stage_yields: list[float] | np.ndarray
+) -> bool:
+    """Check the paper's imbalance criterion ``prod_i Y_i > Y0**N``."""
+    if not 0.0 <= balanced_stage_yield <= 1.0:
+        raise ValueError("balanced_stage_yield must lie in [0, 1]")
+    unbalanced = np.asarray(unbalanced_stage_yields, dtype=float)
+    baseline = balanced_stage_yield ** unbalanced.size
+    return pipeline_yield_from_stage_yields(unbalanced) > baseline

@@ -1,0 +1,156 @@
+"""Variability analyses of section 3.1 (Fig. 5).
+
+The paper studies how the variability (sigma/mu) of stage and pipeline
+delays responds to two design knobs -- the logic depth of a stage and the
+number of pipeline stages -- under different mixes of random intra-die,
+systematic intra-die and inter-die variation.  This module provides the
+closed-form versions of those analyses; the Fig. 5 benchmark cross-checks
+them against the Monte-Carlo engine.
+
+The model of a stage used here is the paper's: a chain of ``N_L`` identical
+gates whose delays share three variance components,
+
+* ``sigma_random`` -- independent per gate (random dopant fluctuation),
+* ``sigma_stage``  -- perfectly correlated among gates of the *same* stage
+  but independent across stages (local systematic variation),
+* ``sigma_die``    -- perfectly correlated across *all* stages (inter-die).
+
+A chain of ``N_L`` such gates has
+
+    mean     = N_L * mu_gate
+    variance = N_L * sigma_random^2 + N_L^2 * (sigma_stage^2 + sigma_die^2)
+
+and two distinct stages covary through the die component only,
+
+    cov = N_L^2 * sigma_die^2 .
+
+The independent part averages out with depth (the "cancellation effect"),
+the correlated parts do not -- which is exactly the Fig. 5(a) behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.pipeline_delay import PipelineDelayModel
+from repro.core.stage_delay import StageDelayDistribution
+
+
+@dataclass(frozen=True)
+class GateVariability:
+    """Variance decomposition of a single gate delay (all values in seconds)."""
+
+    mu: float
+    sigma_random: float = 0.0
+    sigma_stage: float = 0.0
+    sigma_die: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.mu <= 0.0:
+            raise ValueError(f"gate delay mean must be positive, got {self.mu}")
+        for name in ("sigma_random", "sigma_stage", "sigma_die"):
+            if getattr(self, name) < 0.0:
+                raise ValueError(f"{name} must be non-negative")
+
+    def stage_distribution(self, logic_depth: int, name: str = "") -> StageDelayDistribution:
+        """Delay distribution of a chain of ``logic_depth`` such gates."""
+        if logic_depth < 1:
+            raise ValueError(f"logic_depth must be at least 1, got {logic_depth}")
+        mean = logic_depth * self.mu
+        variance = (
+            logic_depth * self.sigma_random**2
+            + logic_depth**2 * (self.sigma_stage**2 + self.sigma_die**2)
+        )
+        return StageDelayDistribution(mean=mean, std=variance**0.5, name=name)
+
+    def stage_correlation(self, logic_depth: int) -> float:
+        """Correlation between the delays of two identical stages."""
+        stage = self.stage_distribution(logic_depth)
+        if stage.std == 0.0:
+            return 0.0
+        covariance = logic_depth**2 * self.sigma_die**2
+        return float(np.clip(covariance / stage.std**2, 0.0, 1.0))
+
+
+def stage_variability_vs_logic_depth(
+    gate: GateVariability, logic_depths: list[int] | np.ndarray
+) -> np.ndarray:
+    """sigma/mu of a stage as a function of its logic depth (Fig. 5(a))."""
+    values = []
+    for depth in logic_depths:
+        stage = gate.stage_distribution(int(depth))
+        values.append(stage.variability)
+    return np.array(values)
+
+
+def pipeline_variability_vs_stages(
+    stage: StageDelayDistribution,
+    stage_counts: list[int] | np.ndarray,
+    correlation: float = 0.0,
+) -> np.ndarray:
+    """sigma/mu of the pipeline delay vs. the number of stages (Fig. 5(b)).
+
+    All stages are identical copies of ``stage`` with a uniform pairwise
+    ``correlation``.
+    """
+    if not 0.0 <= correlation <= 1.0:
+        raise ValueError(f"correlation must be in [0, 1], got {correlation}")
+    values = []
+    for count in stage_counts:
+        count = int(count)
+        if count < 1:
+            raise ValueError(f"stage counts must be at least 1, got {count}")
+        stages = [
+            StageDelayDistribution(stage.mean, stage.std, name=f"s{i}")
+            for i in range(count)
+        ]
+        model = PipelineDelayModel.with_uniform_correlation(stages, correlation)
+        values.append(model.estimate().variability)
+    return np.array(values)
+
+
+def pipeline_variability_fixed_total_depth(
+    gate: GateVariability,
+    total_depth: int,
+    stage_counts: list[int] | np.ndarray,
+) -> np.ndarray:
+    """Pipeline sigma/mu with ``N_S * N_L`` held constant (Fig. 5(c)).
+
+    For each stage count the logic depth is ``total_depth / N_S``; the
+    per-stage statistics and the cross-stage correlation both follow from the
+    gate-level variance decomposition, so sweeping the inter-die strength in
+    ``gate.sigma_die`` reproduces the crossover the paper reports: with only
+    intra-die variation deeper pipelines (more, shallower stages) are *more*
+    variable, while with dominant inter-die variation they are less.
+    """
+    if total_depth < 1:
+        raise ValueError(f"total_depth must be at least 1, got {total_depth}")
+    values = []
+    for count in stage_counts:
+        count = int(count)
+        if count < 1 or total_depth % count != 0:
+            raise ValueError(
+                f"stage count {count} does not divide the total depth {total_depth}"
+            )
+        logic_depth = total_depth // count
+        stage = gate.stage_distribution(logic_depth)
+        correlation = gate.stage_correlation(logic_depth)
+        stages = [
+            StageDelayDistribution(stage.mean, stage.std, name=f"s{i}")
+            for i in range(count)
+        ]
+        model = PipelineDelayModel.with_uniform_correlation(stages, correlation)
+        values.append(model.estimate().variability)
+    return np.array(values)
+
+
+def normalized_series(values: np.ndarray) -> np.ndarray:
+    """Normalise a series to its first element (the paper plots most series this way)."""
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        raise ValueError("cannot normalise an empty series")
+    if values[0] == 0.0:
+        raise ValueError("cannot normalise a series whose first element is zero")
+    return values / values[0]

@@ -1,0 +1,24 @@
+"""Monte-Carlo delay simulation: the SPICE Monte-Carlo stand-in.
+
+The paper verifies its analytical models against HSPICE Monte-Carlo runs.
+This subpackage provides the equivalent reference: sample per-device process
+parameters under a :class:`~repro.process.variation.VariationModel`, turn
+them into gate delays with the alpha-power-law delay model, propagate
+arrival times through each stage netlist (vectorised across samples) and
+reduce to per-stage and pipeline delay samples.
+
+* :mod:`repro.montecarlo.engine` -- :class:`MonteCarloEngine` with
+  ``run_stage`` and ``run_pipeline``.
+* :mod:`repro.montecarlo.results` -- result containers exposing means,
+  sigmas, yields, histograms, percentiles, cross-stage correlations and
+  conversion to :class:`~repro.core.stage_delay.StageDelayDistribution`.
+"""
+
+from repro.montecarlo.engine import MonteCarloEngine
+from repro.montecarlo.results import MonteCarloResult, PipelineMonteCarloResult
+
+__all__ = [
+    "MonteCarloEngine",
+    "MonteCarloResult",
+    "PipelineMonteCarloResult",
+]

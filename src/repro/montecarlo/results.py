@@ -1,0 +1,202 @@
+"""Containers for Monte-Carlo delay results.
+
+:class:`MonteCarloResult` wraps a 1-D array of delay samples (one stage, or
+the whole pipeline) and exposes the statistics the paper reports: mean,
+standard deviation, sigma/mu variability, yield at a target delay,
+percentiles and histograms.  :class:`PipelineMonteCarloResult` additionally
+keeps the per-stage sample matrix so cross-stage correlations -- the input
+the correlated pipeline model needs -- can be measured directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.stage_delay import StageDelayDistribution
+
+
+@dataclass(frozen=True)
+class MonteCarloResult:
+    """Statistics of a set of Monte-Carlo delay samples."""
+
+    samples: np.ndarray
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        samples = np.asarray(self.samples, dtype=float)
+        if samples.ndim != 1 or samples.size < 2:
+            raise ValueError("need a 1-D array of at least two delay samples")
+        object.__setattr__(self, "samples", samples)
+
+    @property
+    def n_samples(self) -> int:
+        """Number of Monte-Carlo samples."""
+        return self.samples.size
+
+    @property
+    def mean(self) -> float:
+        """Sample mean delay in seconds."""
+        return float(self.samples.mean())
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation (ddof=1) in seconds."""
+        return float(self.samples.std(ddof=1))
+
+    @property
+    def variability(self) -> float:
+        """The paper's sigma/mu variability metric."""
+        mean = self.mean
+        return self.std / mean if mean > 0.0 else 0.0
+
+    def yield_at(self, target_delay: float) -> float:
+        """Fraction of samples meeting the target delay."""
+        return float((self.samples <= target_delay).mean())
+
+    def percentile(self, q: float | np.ndarray) -> float | np.ndarray:
+        """Delay percentile(s) in seconds."""
+        return np.percentile(self.samples, q)
+
+    def delay_at_yield(self, target_yield: float) -> float:
+        """Empirical clock period achieving the requested yield."""
+        if not 0.0 < target_yield < 1.0:
+            raise ValueError(f"target_yield must be in (0, 1), got {target_yield}")
+        return float(np.quantile(self.samples, target_yield))
+
+    def histogram(self, bins: int = 40) -> tuple[np.ndarray, np.ndarray]:
+        """Histogram counts and bin edges (seconds)."""
+        return np.histogram(self.samples, bins=bins)
+
+    def to_distribution(self) -> StageDelayDistribution:
+        """Fit a Gaussian :class:`StageDelayDistribution` to the samples."""
+        return StageDelayDistribution.from_samples(self.samples, name=self.name)
+
+    def summary(self) -> dict[str, float]:
+        """Dictionary summary used by the benchmark reports (times in ps)."""
+        return {
+            "mean_ps": self.mean * 1e12,
+            "std_ps": self.std * 1e12,
+            "variability": self.variability,
+            "p99_ps": float(self.percentile(99.0)) * 1e12,
+        }
+
+
+@dataclass(frozen=True)
+class PipelineMonteCarloResult:
+    """Monte-Carlo results for a full pipeline.
+
+    Attributes
+    ----------
+    stage_samples:
+        Per-sample stage delays, shape ``(n_samples, n_stages)``.
+    stage_names:
+        Stage names in column order.
+    """
+
+    stage_samples: np.ndarray
+    stage_names: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        samples = np.asarray(self.stage_samples, dtype=float)
+        if samples.ndim != 2 or samples.shape[0] < 2:
+            raise ValueError(
+                "stage_samples must be 2-D with at least two samples, got "
+                f"shape {samples.shape}"
+            )
+        if samples.shape[1] != len(self.stage_names):
+            raise ValueError(
+                f"{samples.shape[1]} stage columns but {len(self.stage_names)} names"
+            )
+        object.__setattr__(self, "stage_samples", samples)
+        object.__setattr__(self, "stage_names", tuple(self.stage_names))
+
+    # ------------------------------------------------------------------
+    # Shapes
+    # ------------------------------------------------------------------
+    @property
+    def n_samples(self) -> int:
+        """Number of Monte-Carlo samples."""
+        return self.stage_samples.shape[0]
+
+    @property
+    def n_stages(self) -> int:
+        """Number of pipeline stages."""
+        return self.stage_samples.shape[1]
+
+    # ------------------------------------------------------------------
+    # Pipeline-level view
+    # ------------------------------------------------------------------
+    @property
+    def pipeline_samples(self) -> np.ndarray:
+        """Pipeline delay samples: the per-sample maximum over stages."""
+        return self.stage_samples.max(axis=1)
+
+    def pipeline_result(self, name: str = "pipeline") -> MonteCarloResult:
+        """Pipeline delay statistics as a :class:`MonteCarloResult`."""
+        return MonteCarloResult(self.pipeline_samples, name=name)
+
+    def yield_at(self, target_delay: float) -> float:
+        """Pipeline yield at the target delay."""
+        return self.pipeline_result().yield_at(target_delay)
+
+    # ------------------------------------------------------------------
+    # Stage-level view
+    # ------------------------------------------------------------------
+    def stage_result(self, index_or_name: int | str) -> MonteCarloResult:
+        """Statistics of a single stage's delay."""
+        index = self._stage_index(index_or_name)
+        return MonteCarloResult(
+            self.stage_samples[:, index], name=self.stage_names[index]
+        )
+
+    def _stage_index(self, index_or_name: int | str) -> int:
+        if isinstance(index_or_name, str):
+            try:
+                return self.stage_names.index(index_or_name)
+            except ValueError:
+                raise KeyError(
+                    f"no stage named {index_or_name!r}; stages: {self.stage_names}"
+                ) from None
+        index = int(index_or_name)
+        if not 0 <= index < self.n_stages:
+            raise IndexError(f"stage index {index} out of range [0, {self.n_stages})")
+        return index
+
+    def stage_distributions(self) -> list[StageDelayDistribution]:
+        """Fit a Gaussian stage-delay distribution to every stage.
+
+        This is exactly what the paper does with its SPICE results: "the
+        simulated mu_i and sigma_i values for each stage are then fed into
+        the proposed model".
+        """
+        return [
+            StageDelayDistribution.from_samples(
+                self.stage_samples[:, index], name=name
+            )
+            for index, name in enumerate(self.stage_names)
+        ]
+
+    def stage_means(self) -> np.ndarray:
+        """Per-stage mean delays."""
+        return self.stage_samples.mean(axis=0)
+
+    def stage_stds(self) -> np.ndarray:
+        """Per-stage delay standard deviations (ddof=1)."""
+        return self.stage_samples.std(axis=0, ddof=1)
+
+    def correlation_matrix(self) -> np.ndarray:
+        """Measured cross-stage delay correlation matrix."""
+        if self.n_stages == 1:
+            return np.ones((1, 1))
+        matrix = np.corrcoef(self.stage_samples, rowvar=False)
+        # corrcoef returns nan rows for zero-variance stages; treat those as
+        # uncorrelated with everything (they never limit the max anyway).
+        matrix = np.nan_to_num(matrix, nan=0.0)
+        np.fill_diagonal(matrix, 1.0)
+        return matrix
+
+    def stage_yields(self, target_delay: float) -> np.ndarray:
+        """Per-stage yields at the target delay."""
+        return (self.stage_samples <= target_delay).mean(axis=0)

@@ -1,0 +1,108 @@
+"""Conventional balanced pipeline design.
+
+The baseline every experiment in the paper compares against: each stage is
+optimised *independently* for the same delay target, with the pipeline yield
+budget split equally across stages (eq. 12), i.e. a pipeline yield target of
+``Y`` over ``N`` stages gives every stage an individual yield target of
+``Y ** (1/N)``.  This is the "individually optimized" column of Tables II
+and III and the "balanced" curve of Fig. 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.stage_delay import StageDelayDistribution
+from repro.core.yield_model import stage_yield_budget
+from repro.optimize.result import SizingResult
+from repro.pipeline.pipeline import Pipeline
+
+
+@dataclass(frozen=True)
+class BalancedDesignResult:
+    """Outcome of the balanced (stage-independent) design flow."""
+
+    pipeline: Pipeline
+    stage_results: dict[str, SizingResult]
+    target_delay: float
+    pipeline_yield_target: float
+    stage_yield_target: float
+
+    @property
+    def total_area(self) -> float:
+        """Total pipeline area after sizing."""
+        return self.pipeline.total_area()
+
+    def stage_distributions(self) -> list[StageDelayDistribution]:
+        """Per-stage delay distributions after sizing, in pipeline order."""
+        return [
+            self.stage_results[name].stage_delay for name in self.pipeline.stage_names
+        ]
+
+    def stage_areas(self) -> np.ndarray:
+        """Per-stage total areas after sizing, in pipeline order."""
+        return self.pipeline.stage_areas()
+
+    def stage_yields(self) -> np.ndarray:
+        """Per-stage achieved yields at the target delay, in pipeline order."""
+        return np.array(
+            [
+                self.stage_results[name].achieved_yield
+                for name in self.pipeline.stage_names
+            ]
+        )
+
+    def predicted_pipeline_yield(self) -> float:
+        """Pipeline yield assuming independent stages (product of stage yields)."""
+        return float(np.prod(self.stage_yields()))
+
+
+def design_balanced_pipeline(
+    pipeline: Pipeline,
+    sizer,
+    target_delay: float,
+    pipeline_yield_target: float,
+    stage_yield_target: float | None = None,
+) -> BalancedDesignResult:
+    """Size every stage independently for the same delay target.
+
+    Parameters
+    ----------
+    pipeline:
+        Pipeline to size; a copy is made, the input is left untouched.
+    sizer:
+        Stage sizer (Lagrangian or greedy).
+    target_delay:
+        Common stage delay target in seconds (the intended clock period).
+    pipeline_yield_target:
+        Desired pipeline yield; split equally over stages unless
+        ``stage_yield_target`` is given explicitly.
+    stage_yield_target:
+        Optional explicit per-stage yield target (overrides the equal split).
+
+    Returns
+    -------
+    BalancedDesignResult
+        The sized pipeline copy plus per-stage sizing results.
+    """
+    if target_delay <= 0.0:
+        raise ValueError(f"target_delay must be positive, got {target_delay}")
+    designed = pipeline.copy(f"{pipeline.name}_balanced")
+    if stage_yield_target is None:
+        stage_yield_target = stage_yield_budget(
+            pipeline_yield_target, designed.n_stages
+        )
+    stage_results: dict[str, SizingResult] = {}
+    for stage in designed.stages:
+        stage_results[stage.name] = sizer.size_stage(
+            stage, target_delay, stage_yield_target, apply=True
+        )
+    return BalancedDesignResult(
+        pipeline=designed,
+        stage_results=stage_results,
+        target_delay=target_delay,
+        pipeline_yield_target=pipeline_yield_target,
+        stage_yield_target=stage_yield_target,
+    )

@@ -1,0 +1,172 @@
+"""Constant-area imbalance redistribution between pipeline stages.
+
+This implements the paper's Fig. 7 experiment: starting from a balanced
+design (all stages sized independently for the same delay target), move area
+from the stages whose area-vs-delay curve is steep (eq. 14 ratio ``R_i > 1``
+-- shrinking them costs little delay) to the stages whose curve is shallow
+(``R_i < 1`` -- a small area investment buys a lot of delay), keeping the
+total area approximately constant.  The "worst" mode inverts the assignment,
+reproducing the paper's observation that *badly chosen* imbalance hurts
+yield (the "Unbalanced(worst)" series of Fig. 7(b)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.imbalance import classify_stages, StageAction
+from repro.core.stage_delay import StageDelayDistribution
+from repro.optimize.area_delay import AreaDelayCurve
+from repro.optimize.result import SizingResult
+from repro.pipeline.pipeline import Pipeline
+
+
+@dataclass(frozen=True)
+class RedistributionResult:
+    """Outcome of a constant-area imbalance redistribution."""
+
+    pipeline: Pipeline
+    mode: str
+    fraction: float
+    stage_results: dict[str, SizingResult]
+    donor_stages: tuple[str, ...]
+    receiver_stages: tuple[str, ...]
+
+    @property
+    def total_area(self) -> float:
+        """Total pipeline area after redistribution."""
+        return self.pipeline.total_area()
+
+    def stage_distributions(self) -> list[StageDelayDistribution]:
+        """Per-stage delay distributions after redistribution, in pipeline order."""
+        return [
+            self.stage_results[name].stage_delay for name in self.pipeline.stage_names
+        ]
+
+    def stage_yields(self, target_delay: float) -> np.ndarray:
+        """Per-stage yields at a target delay, in pipeline order."""
+        return np.array(
+            [
+                self.stage_results[name].stage_delay.yield_at(target_delay)
+                for name in self.pipeline.stage_names
+            ]
+        )
+
+    def predicted_pipeline_yield(self, target_delay: float) -> float:
+        """Pipeline yield assuming independent stages."""
+        return float(np.prod(self.stage_yields(target_delay)))
+
+
+def _split_roles(
+    curves: dict[str, AreaDelayCurve], reference_delays: dict[str, float], mode: str
+) -> tuple[list[str], list[str]]:
+    """Decide which stages donate area and which receive it."""
+    ratios = {
+        name: curve.sensitivity_ratio(reference_delays[name])
+        for name, curve in curves.items()
+    }
+    records = classify_stages(ratios)
+    donors = [r.name for r in records if r.action is StageAction.SHRINK]
+    receivers = [r.name for r in records if r.action is StageAction.GROW]
+    undecided = [r.name for r in records if r.action is StageAction.NEUTRAL]
+    # Guarantee at least one stage on each side: fall back to the extreme
+    # ratios when the classification is one-sided.
+    if not donors:
+        donors = [records[0].name]
+        if records[0].name in receivers:
+            receivers.remove(records[0].name)
+        if records[0].name in undecided:
+            undecided.remove(records[0].name)
+    if not receivers:
+        receivers = [records[-1].name]
+        if records[-1].name in donors and len(donors) > 1:
+            donors.remove(records[-1].name)
+    if mode == "worst":
+        donors, receivers = receivers, donors
+    return donors, receivers
+
+
+def redistribute_area(
+    pipeline: Pipeline,
+    curves: dict[str, AreaDelayCurve],
+    sizer,
+    target_delay: float,
+    stage_yield_target: float,
+    fraction: float = 0.15,
+    mode: str = "best",
+) -> RedistributionResult:
+    """Move a fraction of area between stages at (approximately) constant total area.
+
+    Parameters
+    ----------
+    pipeline:
+        The balanced design to perturb; a copy is made.
+    curves:
+        Area-vs-delay curve of every stage (keys are stage names).
+    sizer:
+        Stage sizer used to realise the new per-stage delay targets.
+    target_delay:
+        The pipeline delay target (used only to evaluate the stage yield
+        targets of the re-sizing calls consistently with the balanced flow).
+    stage_yield_target:
+        Per-stage yield at which the curves are expressed.
+    fraction:
+        Fraction of each donor stage's combinational area that is moved.
+    mode:
+        ``"best"`` follows the eq. 14 heuristic; ``"worst"`` inverts it.
+
+    Returns
+    -------
+    RedistributionResult
+        The unbalanced pipeline copy plus per-stage sizing results.
+    """
+    if not 0.0 < fraction < 0.9:
+        raise ValueError(f"fraction must be in (0, 0.9), got {fraction}")
+    if mode not in {"best", "worst"}:
+        raise ValueError(f"mode must be 'best' or 'worst', got {mode!r}")
+    missing = set(pipeline.stage_names) - set(curves)
+    if missing:
+        raise KeyError(f"missing area-delay curves for stages: {sorted(missing)}")
+
+    designed = pipeline.copy(f"{pipeline.name}_unbalanced_{mode}")
+    current_areas = {
+        stage.name: stage.logic_area() for stage in designed.stages
+    }
+    reference_delays = {
+        name: float(
+            np.clip(
+                curves[name].delay_for_area(current_areas[name]),
+                curves[name].min_delay,
+                curves[name].max_delay,
+            )
+        )
+        for name in designed.stage_names
+    }
+    donors, receivers = _split_roles(curves, reference_delays, mode)
+
+    donated = sum(fraction * current_areas[name] for name in donors)
+    receiver_total = sum(current_areas[name] for name in receivers)
+    new_areas = dict(current_areas)
+    for name in donors:
+        new_areas[name] = current_areas[name] * (1.0 - fraction)
+    for name in receivers:
+        share = current_areas[name] / receiver_total if receiver_total > 0 else 0.0
+        new_areas[name] = current_areas[name] + donated * share
+
+    stage_results: dict[str, SizingResult] = {}
+    for stage in designed.stages:
+        curve = curves[stage.name]
+        new_delay_target = curve.delay_for_area(new_areas[stage.name])
+        stage_results[stage.name] = sizer.size_stage(
+            stage, new_delay_target, stage_yield_target, apply=True
+        )
+    return RedistributionResult(
+        pipeline=designed,
+        mode=mode,
+        fraction=fraction,
+        stage_results=stage_results,
+        donor_stages=tuple(donors),
+        receiver_stages=tuple(receivers),
+    )

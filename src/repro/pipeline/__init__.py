@@ -1,0 +1,29 @@
+"""Pipeline construction substrate.
+
+* :mod:`repro.pipeline.stage` -- :class:`PipelineStage`: one combinational
+  block plus its output register, placed in a region of the die.
+* :mod:`repro.pipeline.pipeline` -- :class:`Pipeline`: an ordered list of
+  stages with area accounting and die floorplanning (stages are laid out as
+  vertical slices across the die, which is what gives their delays partial
+  spatial correlation under systematic variation).
+* :mod:`repro.pipeline.builder` -- builders for the paper's pipelines:
+  N_S x N_L inverter-chain pipelines (model verification), the 3-stage
+  ALU-Decoder pipeline (imbalance study) and the 4-stage ISCAS85 pipeline
+  (optimization experiments).
+"""
+
+from repro.pipeline.stage import PipelineStage
+from repro.pipeline.pipeline import Pipeline
+from repro.pipeline.builder import (
+    alu_decoder_pipeline,
+    inverter_chain_pipeline,
+    iscas_pipeline,
+)
+
+__all__ = [
+    "PipelineStage",
+    "Pipeline",
+    "inverter_chain_pipeline",
+    "iscas_pipeline",
+    "alu_decoder_pipeline",
+]

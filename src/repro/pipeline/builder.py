@@ -1,0 +1,149 @@
+"""Builders for the pipelines used in the paper's experiments.
+
+* :func:`inverter_chain_pipeline` -- the ``N_S x N_L`` inverter-chain
+  pipelines used for model verification (Figs. 2, 3, 5; Table I).  Supports
+  per-stage logic depths for the "variable logic depth" row of Table I.
+* :func:`alu_decoder_pipeline` -- the 3-stage ALU / Decoder / ALU pipeline
+  of Fig. 6, used for the balanced-vs-unbalanced study (Figs. 7, 8).
+* :func:`iscas_pipeline` -- the 4-stage ISCAS85 pipeline (c3540, c2670,
+  c1908 a.k.a. the paper's "c1980", c432) used for the optimization
+  experiments (Tables II, III).
+"""
+
+from __future__ import annotations
+
+from repro.circuit.cell_library import CellLibrary
+from repro.circuit.flipflop import FlipFlopTiming
+from repro.circuit.generators import alu_block, decoder_block, inverter_chain
+from repro.circuit.iscas import iscas_benchmark
+from repro.pipeline.pipeline import Pipeline
+from repro.pipeline.stage import PipelineStage
+from repro.process.technology import Technology
+
+
+def inverter_chain_pipeline(
+    n_stages: int,
+    logic_depth: int | list[int],
+    name: str | None = None,
+    size: float = 1.0,
+    flipflop: FlipFlopTiming | None = None,
+    library: CellLibrary | None = None,
+    technology: Technology | None = None,
+) -> Pipeline:
+    """Build an ``N_S``-stage pipeline of inverter-chain stages.
+
+    Parameters
+    ----------
+    n_stages:
+        Number of pipeline stages ``N_S``.
+    logic_depth:
+        Either a single logic depth ``N_L`` applied to every stage, or a list
+        of per-stage depths (the Table I "5 x *" configuration).
+    size:
+        Drive size of every inverter.
+    flipflop:
+        Sequential-element model shared by all stages.
+    """
+    if n_stages < 1:
+        raise ValueError(f"n_stages must be at least 1, got {n_stages}")
+    if isinstance(logic_depth, int):
+        depths = [logic_depth] * n_stages
+    else:
+        depths = list(logic_depth)
+        if len(depths) != n_stages:
+            raise ValueError(
+                f"got {len(depths)} logic depths for {n_stages} stages"
+            )
+    if flipflop is None:
+        flipflop = FlipFlopTiming()
+    if name is None:
+        if len(set(depths)) == 1:
+            name = f"invchain_{n_stages}x{depths[0]}"
+        else:
+            name = f"invchain_{n_stages}xvar"
+
+    stages = []
+    for index, depth in enumerate(depths):
+        netlist = inverter_chain(
+            depth,
+            name=f"{name}_s{index}",
+            size=size,
+            library=library,
+            technology=technology,
+        )
+        stages.append(
+            PipelineStage(name=f"stage{index}", netlist=netlist, flipflop=flipflop)
+        )
+    return Pipeline(name, stages)
+
+
+def alu_decoder_pipeline(
+    width: int = 8,
+    n_address: int = 4,
+    name: str = "alu_decoder",
+    flipflop: FlipFlopTiming | None = None,
+    library: CellLibrary | None = None,
+    technology: Technology | None = None,
+) -> Pipeline:
+    """Build the paper's Fig. 6 three-stage ALU-Decoder pipeline.
+
+    Stage 1 is the lower half of a ``width``-bit ALU datapath, stage 2 is an
+    ``n_address``-to-``2**n_address`` decoder, and stage 3 is the upper half
+    of the ALU.
+    """
+    if flipflop is None:
+        flipflop = FlipFlopTiming()
+    stages = [
+        PipelineStage(
+            name="alu_part1",
+            netlist=alu_block(width, name="alu_part1", part="lower",
+                              library=library, technology=technology),
+            flipflop=flipflop,
+        ),
+        PipelineStage(
+            name="decoder",
+            netlist=decoder_block(n_address, name="decoder",
+                                  library=library, technology=technology),
+            flipflop=flipflop,
+        ),
+        PipelineStage(
+            name="alu_part2",
+            netlist=alu_block(width, name="alu_part2", part="upper",
+                              library=library, technology=technology),
+            flipflop=flipflop,
+        ),
+    ]
+    return Pipeline(name, stages)
+
+
+def iscas_pipeline(
+    benchmarks: list[str] | None = None,
+    name: str = "iscas_pipeline",
+    flipflop: FlipFlopTiming | None = None,
+    library: CellLibrary | None = None,
+    technology: Technology | None = None,
+) -> Pipeline:
+    """Build the 4-stage ISCAS85 pipeline of Tables II and III.
+
+    Parameters
+    ----------
+    benchmarks:
+        Benchmark names in pipeline order; defaults to the paper's
+        ``["c3540", "c2670", "c1908", "c432"]`` (the paper's "c1980" is the
+        suite's c1908).
+    """
+    if benchmarks is None:
+        benchmarks = ["c3540", "c2670", "c1908", "c432"]
+    if not benchmarks:
+        raise ValueError("need at least one benchmark stage")
+    if flipflop is None:
+        flipflop = FlipFlopTiming()
+    stages = [
+        PipelineStage(
+            name=benchmark,
+            netlist=iscas_benchmark(benchmark, library=library, technology=technology),
+            flipflop=flipflop,
+        )
+        for benchmark in benchmarks
+    ]
+    return Pipeline(name, stages)

@@ -1,0 +1,110 @@
+"""Pipeline: an ordered collection of stages sharing one die.
+
+The object is deliberately thin: analysis (delay distributions, yield) lives
+in :mod:`repro.core`, characterisation in :mod:`repro.montecarlo` and
+:mod:`repro.timing.ssta`, and optimization in :mod:`repro.optimize`.  The
+pipeline's own responsibilities are bookkeeping (stage order, area) and
+floorplanning: stages are placed as vertical slices across the die, left to
+right, which makes physically adjacent stages more correlated under
+spatially correlated variation -- the partial correlation regime of the
+paper's Fig. 2(c).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.pipeline.stage import PipelineStage
+
+
+class Pipeline:
+    """An N-stage synchronous pipeline on a single die."""
+
+    def __init__(self, name: str, stages: list[PipelineStage]) -> None:
+        if not stages:
+            raise ValueError("a pipeline needs at least one stage")
+        names = [stage.name for stage in stages]
+        if len(set(names)) != len(names):
+            raise ValueError(f"stage names must be unique, got {names}")
+        self.name = name
+        self.stages = list(stages)
+        self.place()
+
+    # ------------------------------------------------------------------
+    # Floorplanning
+    # ------------------------------------------------------------------
+    def place(self) -> None:
+        """Lay the stages out as equal-width vertical slices of the die.
+
+        Stage i occupies the horizontal band ``[i/N, (i+1)/N]`` of the unit
+        die.  Gates within a stage are then levelised inside that band by
+        :meth:`repro.circuit.netlist.Netlist.auto_place`.
+        """
+        n = len(self.stages)
+        for index, stage in enumerate(self.stages):
+            x0 = index / n
+            x1 = (index + 1) / n
+            stage.place((x0 + 1e-6, 0.0, x1 - 1e-6, 1.0))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def n_stages(self) -> int:
+        """Number of pipeline stages."""
+        return len(self.stages)
+
+    @property
+    def stage_names(self) -> list[str]:
+        """Names of the stages, in pipeline order."""
+        return [stage.name for stage in self.stages]
+
+    def stage(self, name: str) -> PipelineStage:
+        """Look up a stage by name."""
+        for stage in self.stages:
+            if stage.name == name:
+                return stage
+        raise KeyError(f"no stage named {name!r} in pipeline {self.name!r}")
+
+    def __iter__(self):
+        return iter(self.stages)
+
+    def __len__(self) -> int:
+        return len(self.stages)
+
+    # ------------------------------------------------------------------
+    # Area accounting
+    # ------------------------------------------------------------------
+    def stage_areas(self) -> np.ndarray:
+        """Total area of each stage (logic plus registers), in pipeline order."""
+        return np.array([stage.total_area() for stage in self.stages])
+
+    def total_area(self) -> float:
+        """Total pipeline area in square micrometres."""
+        return float(self.stage_areas().sum())
+
+    def logic_area(self) -> float:
+        """Total combinational-logic area in square micrometres."""
+        return float(sum(stage.logic_area() for stage in self.stages))
+
+    def area_fractions(self) -> np.ndarray:
+        """Per-stage share of the total area (sums to 1)."""
+        areas = self.stage_areas()
+        return areas / areas.sum()
+
+    # ------------------------------------------------------------------
+    # Copying
+    # ------------------------------------------------------------------
+    def copy(self, name: str | None = None) -> "Pipeline":
+        """Deep copy of the pipeline (every stage netlist is cloned)."""
+        return Pipeline(
+            name if name is not None else self.name,
+            [stage.copy() for stage in self.stages],
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        depths = "x".join(str(stage.logic_depth) for stage in self.stages)
+        return (
+            f"Pipeline({self.name!r}, stages={self.n_stages}, depths={depths}, "
+            f"area={self.total_area():.1f}um2)"
+        )

@@ -1,0 +1,102 @@
+"""Pipeline stage abstraction.
+
+A stage is a combinational block bounded by registers; its delay is the sum
+of the register clock-to-Q delay, the combinational propagation delay and
+the setup time of the capturing register (paper section 2.1).  The stage
+also owns a rectangular placement region of the die so that the spatially
+correlated variation component couples stages according to their physical
+proximity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.circuit.flipflop import FlipFlopTiming
+from repro.circuit.netlist import Netlist
+
+
+@dataclass
+class PipelineStage:
+    """One pipeline stage: combinational logic plus its capturing register.
+
+    Attributes
+    ----------
+    name:
+        Stage name used in reports (e.g. ``"IF"``, ``"c3540"``).
+    netlist:
+        The stage's combinational logic.
+    flipflop:
+        Timing model of the registers bounding the stage.
+    region:
+        ``(x0, y0, x1, y1)`` placement rectangle in normalised die
+        coordinates; assigned by :meth:`repro.pipeline.pipeline.Pipeline.place`.
+    n_flipflops:
+        Number of register bits at the stage output, used for area accounting.
+        Defaults to the number of primary outputs of the netlist.
+    """
+
+    name: str
+    netlist: Netlist
+    flipflop: FlipFlopTiming = field(default_factory=FlipFlopTiming)
+    region: tuple[float, float, float, float] = (0.0, 0.0, 1.0, 1.0)
+    n_flipflops: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_flipflops is None:
+            self.n_flipflops = max(1, len(self.netlist.primary_outputs))
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+    def place(self, region: tuple[float, float, float, float]) -> None:
+        """Assign a die region to the stage and re-place its gates inside it."""
+        self.region = region
+        self.netlist.auto_place(region)
+
+    @property
+    def register_position(self) -> tuple[float, float]:
+        """Die position of the stage's output register (right edge, mid height)."""
+        x0, y0, x1, y1 = self.region
+        return (x1 - 0.02 * (x1 - x0), 0.5 * (y0 + y1))
+
+    # ------------------------------------------------------------------
+    # Structure / area
+    # ------------------------------------------------------------------
+    @property
+    def logic_depth(self) -> int:
+        """Logic depth of the stage's combinational block."""
+        return self.netlist.logic_depth()
+
+    @property
+    def n_gates(self) -> int:
+        """Number of combinational gates in the stage."""
+        return self.netlist.n_gates
+
+    def logic_area(self) -> float:
+        """Area of the combinational logic in square micrometres."""
+        return self.netlist.total_area()
+
+    def register_area(self) -> float:
+        """Area of the stage's output registers in square micrometres."""
+        return self.n_flipflops * self.flipflop.area(self.netlist.technology)
+
+    def total_area(self) -> float:
+        """Combinational plus sequential area of the stage."""
+        return self.logic_area() + self.register_area()
+
+    def copy(self, name: str | None = None) -> "PipelineStage":
+        """Deep copy (the netlist is cloned; the flip-flop model is shared)."""
+        return PipelineStage(
+            name=name if name is not None else self.name,
+            netlist=self.netlist.copy(),
+            flipflop=self.flipflop,
+            region=self.region,
+            n_flipflops=self.n_flipflops,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PipelineStage({self.name!r}, gates={self.n_gates}, "
+            f"depth={self.logic_depth}, area={self.total_area():.1f}um2)"
+        )

@@ -1,0 +1,37 @@
+"""Process technology and variation substrate.
+
+The paper characterises stage delays with HSPICE Monte-Carlo runs in a
+70 nm Berkeley Predictive Technology Model (BPTM) node.  This subpackage
+provides the stand-in for that infrastructure:
+
+* :mod:`repro.process.technology` -- a synthetic, self-consistent 70 nm-like
+  technology description (supply, nominal threshold voltage, channel length,
+  per-unit device capacitance/resistance, alpha-power-law exponent).
+* :mod:`repro.process.variation` -- the three-component variation model the
+  paper uses: inter-die (shared by every gate on a die), intra-die random
+  (independent per device, random-dopant-fluctuation style with a
+  1/sqrt(W*L) size dependence), and intra-die systematic (spatially
+  correlated across the die).
+* :mod:`repro.process.spatial` -- grid-based generation of spatially
+  correlated parameter fields with an exponential correlation function.
+* :mod:`repro.process.sampling` -- vectorised Monte-Carlo sample generation
+  of per-gate parameter deviations for a placed netlist.
+
+Only the statistical structure of the samples matters to the paper's
+models; the absolute numbers are calibrated to give stage delays of the
+same order of magnitude (tens to hundreds of picoseconds) as the paper.
+"""
+
+from repro.process.technology import Technology
+from repro.process.variation import VariationModel, VariationComponents
+from repro.process.spatial import SpatialCorrelationModel
+from repro.process.sampling import ParameterSampler, ParameterSamples
+
+__all__ = [
+    "Technology",
+    "VariationModel",
+    "VariationComponents",
+    "SpatialCorrelationModel",
+    "ParameterSampler",
+    "ParameterSamples",
+]

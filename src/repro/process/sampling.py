@@ -1,0 +1,170 @@
+"""Vectorised Monte-Carlo sampling of per-device parameter deviations.
+
+This module is the bridge between the abstract :class:`~repro.process.variation.VariationModel`
+and the Monte-Carlo delay engine.  Given the sizes and placement coordinates
+of the devices in a design, :class:`ParameterSampler` draws, for each
+Monte-Carlo sample (die realisation):
+
+* one inter-die threshold-voltage / channel-length deviation shared by all
+  devices,
+* independent per-device random threshold deviations, scaled by
+  ``1/sqrt(size)`` (random dopant fluctuation),
+* spatially correlated systematic threshold / length deviations from a
+  :class:`~repro.process.spatial.SpatialCorrelationModel`.
+
+The result is a :class:`ParameterSamples` container holding dense
+``(n_samples, n_devices)`` arrays of absolute threshold voltages and channel
+lengths, ready to be turned into delays by the timing substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.process.spatial import SpatialCorrelationModel
+from repro.process.technology import Technology
+from repro.process.variation import VariationModel
+
+
+@dataclass(frozen=True)
+class ParameterSamples:
+    """Per-device process-parameter samples for a batch of die realisations.
+
+    Attributes
+    ----------
+    vth:
+        Absolute threshold voltages in volts, shape ``(n_samples, n_devices)``.
+    length:
+        Absolute channel lengths in nanometres, same shape.
+    inter_die_vth_shift:
+        The inter-die Vth component of each sample, shape ``(n_samples,)``.
+        Exposed so analyses can condition on the die corner.
+    """
+
+    vth: np.ndarray
+    length: np.ndarray
+    inter_die_vth_shift: np.ndarray
+
+    @property
+    def n_samples(self) -> int:
+        """Number of Monte-Carlo samples."""
+        return self.vth.shape[0]
+
+    @property
+    def n_devices(self) -> int:
+        """Number of devices covered by each sample."""
+        return self.vth.shape[1]
+
+
+class ParameterSampler:
+    """Draws process-parameter samples for a placed, sized design.
+
+    Parameters
+    ----------
+    technology:
+        Technology node supplying nominal Vth and channel length.
+    variation:
+        The three-component variation model to sample from.
+    grid_size:
+        Grid resolution of the spatial-correlation model used for the
+        systematic intra-die component.
+    """
+
+    def __init__(
+        self,
+        technology: Technology,
+        variation: VariationModel,
+        grid_size: int = 8,
+    ) -> None:
+        self.technology = technology
+        self.variation = variation
+        self.spatial = SpatialCorrelationModel(
+            grid_size=grid_size,
+            correlation_length=variation.correlation_length,
+        )
+
+    def sample(
+        self,
+        sizes: np.ndarray,
+        x: np.ndarray,
+        y: np.ndarray,
+        n_samples: int,
+        rng: np.random.Generator,
+    ) -> ParameterSamples:
+        """Draw ``n_samples`` die realisations for the given devices.
+
+        Parameters
+        ----------
+        sizes:
+            Relative drive sizes of the devices (multiples of minimum size),
+            shape ``(n_devices,)``.  Sizes must be positive.
+        x, y:
+            Normalised placement coordinates in [0, 1], shape ``(n_devices,)``.
+        n_samples:
+            Number of Monte-Carlo samples.
+        rng:
+            NumPy random generator (callers own the seed for reproducibility).
+
+        Returns
+        -------
+        ParameterSamples
+            Absolute Vth and channel-length samples.
+        """
+        sizes = np.asarray(sizes, dtype=float)
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if sizes.ndim != 1:
+            raise ValueError(f"sizes must be 1-D, got shape {sizes.shape}")
+        if np.any(sizes <= 0.0):
+            raise ValueError("all device sizes must be positive")
+        if x.shape != sizes.shape or y.shape != sizes.shape:
+            raise ValueError(
+                "x and y must match sizes in shape: "
+                f"sizes {sizes.shape}, x {x.shape}, y {y.shape}"
+            )
+        if n_samples < 1:
+            raise ValueError(f"n_samples must be at least 1, got {n_samples}")
+
+        tech = self.technology
+        var = self.variation
+        n_devices = sizes.shape[0]
+
+        # Inter-die: one deviation per sample, broadcast over devices.
+        inter_vth = var.sigma_vth_inter * rng.standard_normal(n_samples)
+        inter_l = var.sigma_l_inter * rng.standard_normal(n_samples)
+
+        # Intra-die random: independent per (sample, device), RDF size scaling.
+        if var.has_intra_random:
+            random_vth = (
+                var.sigma_vth_random
+                / np.sqrt(sizes)[None, :]
+                * rng.standard_normal((n_samples, n_devices))
+            )
+        else:
+            random_vth = np.zeros((n_samples, n_devices))
+
+        # Intra-die systematic: spatially correlated standard-normal field,
+        # scaled separately for Vth and channel length.
+        if var.has_intra_systematic:
+            field = self.spatial.sample_at(x, y, n_samples, rng)
+            systematic_vth = var.sigma_vth_systematic * field
+            systematic_l = var.sigma_l_systematic * field
+        else:
+            systematic_vth = np.zeros((n_samples, n_devices))
+            systematic_l = np.zeros((n_samples, n_devices))
+
+        vth = tech.vth0 + inter_vth[:, None] + random_vth + systematic_vth
+        # Keep thresholds physical: clamp far away from the supply so the
+        # alpha-power drive factor stays finite even for extreme tail samples.
+        vth = np.clip(vth, 0.0, tech.vdd - 0.05)
+
+        length = tech.lmin * (1.0 + inter_l[:, None] + systematic_l)
+        length = np.clip(length, 0.25 * tech.lmin, 4.0 * tech.lmin)
+
+        return ParameterSamples(
+            vth=vth,
+            length=length,
+            inter_die_vth_shift=inter_vth,
+        )

@@ -1,0 +1,158 @@
+"""Synthetic 70 nm technology description.
+
+The paper's experiments run on the Berkeley Predictive Technology Model
+(BPTM) at the 70 nm node.  We cannot ship or simulate BPTM SPICE decks, so
+this module defines a small, self-consistent set of technology constants
+that reproduce the *relevant* behaviour:
+
+* gate delays in the tens-of-picoseconds range for minimum-size devices,
+* a strong, monotonic sensitivity of delay to threshold voltage through an
+  alpha-power-law drive-current model,
+* a weaker, linear sensitivity to channel-length deviation,
+* random threshold variation that shrinks as 1/sqrt(W*L) (random dopant
+  fluctuation behaviour), so that larger gates are intrinsically less
+  variable.
+
+Everything downstream (cell library, delay model, Monte-Carlo engine,
+statistical timing) reads its constants from a :class:`Technology`
+instance, so alternative nodes can be modelled by constructing a different
+instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Technology:
+    """A technology node for delay and variation modelling.
+
+    Parameters
+    ----------
+    name:
+        Human-readable node name.
+    vdd:
+        Supply voltage in volts.
+    vth0:
+        Nominal threshold voltage in volts.
+    alpha:
+        Alpha-power-law exponent; drive current scales as
+        ``(vdd - vth) ** alpha``.  Values between 1 and 2 model velocity
+        saturation in short-channel devices.
+    lmin:
+        Minimum (nominal) channel length in nanometres.
+    wmin:
+        Minimum device width in nanometres.
+    r_unit:
+        Effective drive resistance of a minimum-size inverter in ohms at
+        nominal process.
+    c_unit:
+        Input capacitance of a minimum-size inverter in femtofarads.
+    c_par_unit:
+        Parasitic (self-load) capacitance of a minimum-size inverter in
+        femtofarads.
+    area_unit:
+        Layout area of a minimum-size inverter in square micrometres; cell
+        areas are expressed in multiples of this unit.
+    """
+
+    name: str = "bptm70"
+    vdd: float = 1.0
+    vth0: float = 0.22
+    alpha: float = 1.4
+    lmin: float = 70.0
+    wmin: float = 140.0
+    r_unit: float = 4.5e3
+    c_unit: float = 1.55e-15
+    c_par_unit: float = 1.1e-15
+    area_unit: float = 0.55
+
+    def __post_init__(self) -> None:
+        if self.vdd <= 0.0:
+            raise ValueError(f"vdd must be positive, got {self.vdd}")
+        if not 0.0 < self.vth0 < self.vdd:
+            raise ValueError(
+                f"vth0 must lie strictly between 0 and vdd={self.vdd}, got {self.vth0}"
+            )
+        if self.alpha <= 0.0:
+            raise ValueError(f"alpha must be positive, got {self.alpha}")
+        if self.lmin <= 0.0 or self.wmin <= 0.0:
+            raise ValueError("lmin and wmin must be positive")
+        if min(self.r_unit, self.c_unit, self.c_par_unit, self.area_unit) <= 0.0:
+            raise ValueError("r_unit, c_unit, c_par_unit and area_unit must be positive")
+
+    @property
+    def gate_overdrive(self) -> float:
+        """Nominal gate overdrive ``vdd - vth0`` in volts."""
+        return self.vdd - self.vth0
+
+    @property
+    def tau(self) -> float:
+        """Characteristic RC time constant of a minimum inverter in seconds."""
+        return self.r_unit * self.c_unit
+
+    @property
+    def tau_ps(self) -> float:
+        """Characteristic RC time constant in picoseconds."""
+        return self.tau * 1e12
+
+    def drive_factor(self, vth: float, length: float | None = None) -> float:
+        """Relative drive-resistance multiplier for a deviated device.
+
+        The alpha-power law gives drive current proportional to
+        ``(vdd - vth) ** alpha / L``; drive resistance is the reciprocal, so
+        a device with raised threshold or lengthened channel is slower.
+
+        Parameters
+        ----------
+        vth:
+            Actual threshold voltage of the device in volts.  Must be below
+            ``vdd``; values at or above the supply would turn the device off.
+        length:
+            Actual channel length in nanometres.  Defaults to the nominal
+            ``lmin``.
+
+        Returns
+        -------
+        float
+            Multiplier to apply to the nominal drive resistance (1.0 at
+            nominal process).
+        """
+        if vth >= self.vdd:
+            raise ValueError(
+                f"threshold voltage {vth} V is at or above the supply {self.vdd} V; "
+                "the device does not turn on"
+            )
+        if length is None:
+            length = self.lmin
+        if length <= 0.0:
+            raise ValueError(f"channel length must be positive, got {length}")
+        overdrive_ratio = self.gate_overdrive / (self.vdd - vth)
+        length_ratio = length / self.lmin
+        return (overdrive_ratio**self.alpha) * length_ratio
+
+    def scaled(self, **overrides: float) -> "Technology":
+        """Return a copy of this technology with selected fields replaced."""
+        values = {
+            "name": self.name,
+            "vdd": self.vdd,
+            "vth0": self.vth0,
+            "alpha": self.alpha,
+            "lmin": self.lmin,
+            "wmin": self.wmin,
+            "r_unit": self.r_unit,
+            "c_unit": self.c_unit,
+            "c_par_unit": self.c_par_unit,
+            "area_unit": self.area_unit,
+        }
+        unknown = set(overrides) - set(values)
+        if unknown:
+            raise TypeError(f"unknown technology fields: {sorted(unknown)}")
+        values.update(overrides)
+        return Technology(**values)
+
+
+def default_technology() -> Technology:
+    """Return the default synthetic 70 nm technology used across the repo."""
+    return Technology()

@@ -1,0 +1,198 @@
+"""Three-component process-variation model.
+
+The paper decomposes parameter variation (Section 2.1) into:
+
+* **inter-die** variation -- shared by every device on a die; shifts every
+  stage delay in the same direction and makes stage delays correlated,
+* **intra-die random** variation -- independent per device (random dopant
+  fluctuation being the canonical source); makes stage delays independent,
+* **intra-die systematic** variation -- spatially correlated across the die
+  (channel length / oxide thickness gradients); makes stage delays
+  *partially* correlated, with nearby stages more correlated than distant
+  ones.
+
+This module defines :class:`VariationModel`, the configuration object that
+every Monte-Carlo and statistical-timing component consumes, and
+:class:`VariationComponents`, a convenience container used when a caller
+wants to inspect the three contributions separately.
+
+Threshold-voltage variation carries the bulk of the delay sensitivity in
+sub-100 nm nodes, so the model is expressed in terms of Vth sigmas (in
+volts) plus a relative channel-length sigma.  The intra-die random Vth
+sigma is specified *for a minimum-size device* and scales as
+``1/sqrt(relative device area)``, following the random-dopant-fluctuation
+model the paper cites ([6], Mahmoodi et al.).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class VariationComponents:
+    """Per-gate standard deviations split into the three components.
+
+    All values are threshold-voltage sigmas in volts (already scaled for
+    device size where applicable), so they can be summed in quadrature to
+    get the total per-gate Vth sigma.
+    """
+
+    inter_die: float
+    intra_random: float
+    intra_systematic: float
+
+    @property
+    def total(self) -> float:
+        """Total Vth sigma (quadrature sum of the three components)."""
+        return (
+            self.inter_die**2 + self.intra_random**2 + self.intra_systematic**2
+        ) ** 0.5
+
+
+@dataclass(frozen=True)
+class VariationModel:
+    """Configuration of inter-die, intra-die random and systematic variation.
+
+    Parameters
+    ----------
+    sigma_vth_inter:
+        Inter-die threshold-voltage standard deviation in volts.  The paper
+        sweeps 0, 20 and 40 mV for its Figure 5 studies.
+    sigma_vth_random:
+        Intra-die random (RDF) threshold-voltage standard deviation of a
+        *minimum-size* device, in volts.  A device of relative drive size
+        ``s`` sees ``sigma_vth_random / sqrt(s)``.
+    sigma_vth_systematic:
+        Intra-die systematic (spatially correlated) threshold-voltage
+        standard deviation in volts.
+    correlation_length:
+        Characteristic length of the systematic component's exponential
+        spatial correlation, as a fraction of the die edge (0..inf).  Larger
+        values mean the whole die moves together; smaller values decorrelate
+        distant gates.
+    sigma_l_inter:
+        Inter-die relative channel-length standard deviation
+        (dimensionless, e.g. 0.03 for 3 %).
+    sigma_l_systematic:
+        Intra-die systematic relative channel-length standard deviation.
+    """
+
+    sigma_vth_inter: float = 0.020
+    sigma_vth_random: float = 0.025
+    sigma_vth_systematic: float = 0.012
+    correlation_length: float = 0.5
+    sigma_l_inter: float = 0.02
+    sigma_l_systematic: float = 0.01
+
+    def __post_init__(self) -> None:
+        fields = {
+            "sigma_vth_inter": self.sigma_vth_inter,
+            "sigma_vth_random": self.sigma_vth_random,
+            "sigma_vth_systematic": self.sigma_vth_systematic,
+            "sigma_l_inter": self.sigma_l_inter,
+            "sigma_l_systematic": self.sigma_l_systematic,
+        }
+        for name, value in fields.items():
+            if value < 0.0:
+                raise ValueError(f"{name} must be non-negative, got {value}")
+        if self.correlation_length <= 0.0:
+            raise ValueError(
+                f"correlation_length must be positive, got {self.correlation_length}"
+            )
+
+    # ------------------------------------------------------------------
+    # Named configurations used throughout the paper's experiments
+    # ------------------------------------------------------------------
+    @classmethod
+    def intra_random_only(cls, sigma_vth_random: float = 0.025) -> "VariationModel":
+        """Only random intra-die variation (Fig. 2(a): independent stages)."""
+        return cls(
+            sigma_vth_inter=0.0,
+            sigma_vth_random=sigma_vth_random,
+            sigma_vth_systematic=0.0,
+            sigma_l_inter=0.0,
+            sigma_l_systematic=0.0,
+        )
+
+    @classmethod
+    def inter_only(cls, sigma_vth_inter: float = 0.040) -> "VariationModel":
+        """Only inter-die variation (Fig. 2(b): perfectly correlated stages)."""
+        return cls(
+            sigma_vth_inter=sigma_vth_inter,
+            sigma_vth_random=0.0,
+            sigma_vth_systematic=0.0,
+            sigma_l_inter=0.02,
+            sigma_l_systematic=0.0,
+        )
+
+    @classmethod
+    def combined(
+        cls,
+        sigma_vth_inter: float = 0.020,
+        sigma_vth_random: float = 0.025,
+        sigma_vth_systematic: float = 0.012,
+        correlation_length: float = 0.5,
+    ) -> "VariationModel":
+        """Inter- and intra-die variation with both random and systematic parts
+        (Fig. 2(c): partially correlated stages)."""
+        return cls(
+            sigma_vth_inter=sigma_vth_inter,
+            sigma_vth_random=sigma_vth_random,
+            sigma_vth_systematic=sigma_vth_systematic,
+            correlation_length=correlation_length,
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def has_inter_die(self) -> bool:
+        """Whether any inter-die component is present."""
+        return self.sigma_vth_inter > 0.0 or self.sigma_l_inter > 0.0
+
+    @property
+    def has_intra_random(self) -> bool:
+        """Whether the random intra-die component is present."""
+        return self.sigma_vth_random > 0.0
+
+    @property
+    def has_intra_systematic(self) -> bool:
+        """Whether the spatially correlated intra-die component is present."""
+        return self.sigma_vth_systematic > 0.0 or self.sigma_l_systematic > 0.0
+
+    def vth_components_for_size(self, relative_size: float) -> VariationComponents:
+        """Vth sigma components seen by a device of the given relative size.
+
+        Parameters
+        ----------
+        relative_size:
+            Drive size of the device in multiples of a minimum-size device.
+            Must be positive.
+        """
+        if relative_size <= 0.0:
+            raise ValueError(f"relative_size must be positive, got {relative_size}")
+        return VariationComponents(
+            inter_die=self.sigma_vth_inter,
+            intra_random=self.sigma_vth_random / relative_size**0.5,
+            intra_systematic=self.sigma_vth_systematic,
+        )
+
+    def total_vth_sigma(self, relative_size: float = 1.0) -> float:
+        """Total per-device Vth sigma for a device of ``relative_size``."""
+        return self.vth_components_for_size(relative_size).total
+
+    def with_inter_sigma(self, sigma_vth_inter: float) -> "VariationModel":
+        """Return a copy with a different inter-die Vth sigma.
+
+        Convenience for the Figure 5 sweeps, which vary only the inter-die
+        strength while holding the intra-die components fixed.
+        """
+        return VariationModel(
+            sigma_vth_inter=sigma_vth_inter,
+            sigma_vth_random=self.sigma_vth_random,
+            sigma_vth_systematic=self.sigma_vth_systematic,
+            correlation_length=self.correlation_length,
+            sigma_l_inter=self.sigma_l_inter if sigma_vth_inter > 0 else 0.0,
+            sigma_l_systematic=self.sigma_l_systematic,
+        )

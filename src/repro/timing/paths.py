@@ -1,0 +1,102 @@
+"""Path-level timing queries.
+
+The balanced-vs-unbalanced discussion in the paper (Section 3.2) rests on
+the observation that a balanced pipeline has *more near-critical paths* than
+an unbalanced one, which hurts yield because every near-critical path is
+another chance to violate the target.  This module provides the path-level
+queries that let experiments quantify that: critical-path extraction,
+per-gate slack, and counting of paths within a slack margin of critical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuit.netlist import Netlist
+from repro.timing.sta import arrival_times, critical_path, max_delay, required_times
+
+
+@dataclass(frozen=True)
+class PathReport:
+    """Summary of the path structure of a block at its current sizes."""
+
+    delay: float
+    critical_path: tuple[str, ...]
+    n_gates_near_critical: int
+    n_paths_near_critical: int
+    margin: float
+
+
+def near_critical_gate_count(
+    netlist: Netlist, gate_delays: np.ndarray, margin: float
+) -> int:
+    """Number of gates whose slack is within ``margin`` of the worst slack."""
+    gate_delays = np.asarray(gate_delays, dtype=float)
+    target = float(max_delay(netlist, gate_delays))
+    arrivals = arrival_times(netlist, gate_delays)
+    required = required_times(netlist, gate_delays, target)
+    slack = required - arrivals
+    return int((slack <= margin + 1e-18).sum())
+
+
+def near_critical_path_count(
+    netlist: Netlist, gate_delays: np.ndarray, margin: float
+) -> int:
+    """Number of input-to-output paths with delay within ``margin`` of critical.
+
+    Counted exactly by dynamic programming over the sub-DAG of near-critical
+    gates: a path is near-critical when every edge on it keeps the path delay
+    within ``margin`` of the block delay.  The count is capped at 10**9 to
+    avoid overflow on pathological blocks.
+    """
+    gate_delays = np.asarray(gate_delays, dtype=float)
+    if gate_delays.ndim != 1:
+        raise ValueError("near_critical_path_count expects a 1-D delay vector")
+    target = float(max_delay(netlist, gate_delays))
+    arrivals = arrival_times(netlist, gate_delays)
+    required = required_times(netlist, gate_delays, target)
+    slack = required - arrivals
+    cap = 10**9
+
+    fanins = netlist.fanin_indices()
+    near = slack <= margin + 1e-18
+    # paths_to[g]: number of near-critical partial paths ending at gate g.
+    paths_to = np.zeros(len(fanins), dtype=float)
+    for gate_pos, gate_fanins in enumerate(fanins):
+        if not near[gate_pos]:
+            continue
+        near_fanins = [f for f in gate_fanins if near[f]]
+        if near_fanins:
+            paths_to[gate_pos] = min(cap, sum(paths_to[f] for f in near_fanins))
+        else:
+            paths_to[gate_pos] = 1.0
+    mask = netlist.output_mask()
+    if not mask.any():
+        mask = np.ones(len(fanins), dtype=bool)
+    total = paths_to[mask & near].sum()
+    return int(min(total, cap))
+
+
+def path_report(
+    netlist: Netlist, gate_delays: np.ndarray, margin_fraction: float = 0.05
+) -> PathReport:
+    """Build a :class:`PathReport` for a block.
+
+    Parameters
+    ----------
+    margin_fraction:
+        Paths within this fraction of the block delay are counted as
+        near-critical.
+    """
+    gate_delays = np.asarray(gate_delays, dtype=float)
+    delay = float(max_delay(netlist, gate_delays))
+    margin = margin_fraction * delay
+    return PathReport(
+        delay=delay,
+        critical_path=tuple(critical_path(netlist, gate_delays)),
+        n_gates_near_critical=near_critical_gate_count(netlist, gate_delays, margin),
+        n_paths_near_critical=near_critical_path_count(netlist, gate_delays, margin),
+        margin=margin,
+    )

@@ -1,0 +1,366 @@
+"""Block-based statistical static timing analysis (SSTA).
+
+The paper feeds its pipeline-level model with per-stage delay means and
+standard deviations obtained from SPICE Monte-Carlo.  This module provides
+the analytical alternative: a first-order canonical-form SSTA engine that
+computes the distribution of a stage's combinational delay (and the full
+stage delay including sequential overhead) directly from the netlist, the
+delay model and the variation model -- no sampling.
+
+Canonical form
+--------------
+Every timing quantity is represented as
+
+    T = mean + sum_j s_j * Z_j + r * R
+
+where the ``Z_j`` are independent standard-normal *global* factors shared by
+all gates (inter-die Vth, inter-die channel length, and the principal
+components of the spatially correlated intra-die field) and ``R`` is an
+independent standard-normal variable private to this quantity.  Sums add
+means and sensitivities and combine the private parts in quadrature; the
+max of two forms uses Clark's moment-matching approximation with the tightness
+probability splitting the sensitivities.
+
+The same factor basis is shared by every stage of a pipeline analysed by one
+:class:`StatisticalTimingAnalyzer`, so the covariance between stage delays
+(through the shared inter-die factors and overlapping spatial components)
+falls directly out of the canonical forms -- exactly the correlation the
+paper's pipeline model needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.stats import norm
+
+from repro.circuit.flipflop import FlipFlopTiming
+from repro.circuit.netlist import Netlist
+from repro.process.spatial import SpatialCorrelationModel
+from repro.process.technology import Technology
+from repro.process.variation import VariationModel
+from repro.timing.delay_model import GateDelayModel
+
+# Relative threshold below which the variance of (A - B) is treated as zero
+# and the max degenerates to the larger-mean form (unit independent).
+_DEGENERATE_RATIO = 1e-12
+
+
+@dataclass(frozen=True)
+class CanonicalForm:
+    """First-order canonical representation of a Gaussian timing quantity."""
+
+    mean: float
+    sensitivities: np.ndarray
+    sigma_random: float
+
+    @property
+    def variance(self) -> float:
+        """Total variance (global sensitivities plus private part)."""
+        return float(np.dot(self.sensitivities, self.sensitivities) + self.sigma_random**2)
+
+    @property
+    def sigma(self) -> float:
+        """Total standard deviation."""
+        return self.variance**0.5
+
+    def covariance(self, other: "CanonicalForm") -> float:
+        """Covariance with another form sharing the same factor basis."""
+        if self.sensitivities.shape != other.sensitivities.shape:
+            raise ValueError(
+                "canonical forms have incompatible factor bases: "
+                f"{self.sensitivities.shape} vs {other.sensitivities.shape}"
+            )
+        return float(np.dot(self.sensitivities, other.sensitivities))
+
+    def correlation(self, other: "CanonicalForm") -> float:
+        """Correlation coefficient with another form (0 if either is constant)."""
+        denom = self.sigma * other.sigma
+        if denom <= 0.0:
+            return 0.0
+        rho = self.covariance(other) / denom
+        return float(np.clip(rho, -1.0, 1.0))
+
+    def shifted(self, offset: float) -> "CanonicalForm":
+        """Return a copy with the mean shifted by ``offset``."""
+        return CanonicalForm(self.mean + offset, self.sensitivities, self.sigma_random)
+
+    def __add__(self, other: "CanonicalForm") -> "CanonicalForm":
+        """Sum of two forms (private parts are independent, so they RSS)."""
+        return CanonicalForm(
+            mean=self.mean + other.mean,
+            sensitivities=self.sensitivities + other.sensitivities,
+            sigma_random=float(np.hypot(self.sigma_random, other.sigma_random)),
+        )
+
+    @staticmethod
+    def constant(value: float, n_factors: int) -> "CanonicalForm":
+        """A deterministic quantity expressed in an ``n_factors`` basis."""
+        return CanonicalForm(float(value), np.zeros(n_factors), 0.0)
+
+    @staticmethod
+    def maximum(a: "CanonicalForm", b: "CanonicalForm") -> "CanonicalForm":
+        """Clark's approximation to ``max(a, b)`` as a new canonical form."""
+        mean, sens, rand = _max_arrays(
+            a.mean, a.sensitivities, a.sigma_random,
+            b.mean, b.sensitivities, b.sigma_random,
+        )
+        return CanonicalForm(mean, sens, rand)
+
+
+def _max_arrays(
+    mean_a: float,
+    sens_a: np.ndarray,
+    rand_a: float,
+    mean_b: float,
+    sens_b: np.ndarray,
+    rand_b: float,
+) -> tuple[float, np.ndarray, float]:
+    """Clark max of two canonical forms, returned as raw components."""
+    var_a = float(np.dot(sens_a, sens_a) + rand_a * rand_a)
+    var_b = float(np.dot(sens_b, sens_b) + rand_b * rand_b)
+    cov_ab = float(np.dot(sens_a, sens_b))
+    theta_sq = var_a + var_b - 2.0 * cov_ab
+    if var_a + var_b <= 0.0 or theta_sq <= _DEGENERATE_RATIO * (var_a + var_b):
+        # The two quantities are (numerically) the same random variable up to
+        # a constant shift; the max is simply the one with the larger mean.
+        if mean_a >= mean_b:
+            return mean_a, sens_a.copy(), rand_a
+        return mean_b, sens_b.copy(), rand_b
+    theta = theta_sq**0.5
+    alpha = (mean_a - mean_b) / theta
+    prob_a = float(norm.cdf(alpha))
+    prob_b = 1.0 - prob_a
+    phi = float(norm.pdf(alpha))
+    mean_max = mean_a * prob_a + mean_b * prob_b + theta * phi
+    second_moment = (
+        (mean_a**2 + var_a) * prob_a
+        + (mean_b**2 + var_b) * prob_b
+        + (mean_a + mean_b) * theta * phi
+    )
+    var_max = max(second_moment - mean_max**2, 0.0)
+    sens_max = prob_a * sens_a + prob_b * sens_b
+    residual = var_max - float(np.dot(sens_max, sens_max))
+    rand_max = residual**0.5 if residual > 0.0 else 0.0
+    return mean_max, sens_max, rand_max
+
+
+class StatisticalTimingAnalyzer:
+    """Canonical-form SSTA engine over a shared global factor basis.
+
+    Parameters
+    ----------
+    technology:
+        Technology node for the delay model.
+    variation:
+        The three-component variation model.
+    grid_size:
+        Resolution of the spatial-correlation grid whose principal
+        components form the spatially correlated factors.
+    variance_coverage:
+        Fraction of the spatial field's variance the retained principal
+        components must explain (1.0 keeps all of them).
+    """
+
+    def __init__(
+        self,
+        technology: Technology,
+        variation: VariationModel,
+        grid_size: int = 8,
+        variance_coverage: float = 0.995,
+    ) -> None:
+        if not 0.0 < variance_coverage <= 1.0:
+            raise ValueError(
+                f"variance_coverage must be in (0, 1], got {variance_coverage}"
+            )
+        self.technology = technology
+        self.variation = variation
+        self.delay_model = GateDelayModel(technology)
+        self.spatial = SpatialCorrelationModel(
+            grid_size=grid_size, correlation_length=variation.correlation_length
+        )
+        self._spatial_loadings = self._build_spatial_loadings(variance_coverage)
+        # Factor basis: [vth_inter, l_inter, spatial components...]
+        self.n_factors = 2 + self._spatial_loadings.shape[1]
+
+    # ------------------------------------------------------------------
+    # Factor basis construction
+    # ------------------------------------------------------------------
+    def _build_spatial_loadings(self, variance_coverage: float) -> np.ndarray:
+        """Principal-component loadings of the spatial grid field.
+
+        Returns an array of shape ``(n_cells, n_components)`` such that the
+        correlated cell field equals ``loadings @ Z`` for independent
+        standard-normal ``Z``.
+        """
+        if not self.variation.has_intra_systematic:
+            return np.zeros((self.spatial.n_cells, 0))
+        corr = self.spatial.correlation_matrix()
+        eigenvalues, eigenvectors = np.linalg.eigh(corr)
+        # eigh returns ascending order; take components from largest down.
+        order = np.argsort(eigenvalues)[::-1]
+        eigenvalues = np.clip(eigenvalues[order], 0.0, None)
+        eigenvectors = eigenvectors[:, order]
+        total = eigenvalues.sum()
+        if total <= 0.0:
+            return np.zeros((self.spatial.n_cells, 0))
+        cumulative = np.cumsum(eigenvalues) / total
+        n_keep = int(np.searchsorted(cumulative, variance_coverage) + 1)
+        n_keep = min(n_keep, len(eigenvalues))
+        return eigenvectors[:, :n_keep] * np.sqrt(eigenvalues[:n_keep])[None, :]
+
+    # ------------------------------------------------------------------
+    # Gate delay forms
+    # ------------------------------------------------------------------
+    def gate_delay_components(
+        self, netlist: Netlist, sizes: np.ndarray | None = None
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Canonical components of every gate's delay.
+
+        Returns ``(means, sensitivities, randoms)`` with shapes
+        ``(n_gates,)``, ``(n_gates, n_factors)`` and ``(n_gates,)``.
+        """
+        coefficients = self.delay_model.sensitivity_coefficients(
+            netlist, self.variation, sizes
+        )
+        n_gates = coefficients["mean"].shape[0]
+        sensitivities = np.zeros((n_gates, self.n_factors))
+        sensitivities[:, 0] = coefficients["sigma_vth_inter"]
+        sensitivities[:, 1] = coefficients["sigma_l_inter"]
+        if self._spatial_loadings.shape[1] > 0:
+            xs, ys = netlist.positions()
+            cells = self.spatial.cell_index(xs, ys)
+            loadings = self._spatial_loadings[cells, :]
+            sensitivities[:, 2:] = (
+                coefficients["sigma_systematic"][:, None] * loadings
+            )
+        return coefficients["mean"], sensitivities, coefficients["sigma_random"]
+
+    # ------------------------------------------------------------------
+    # Arrival-time propagation
+    # ------------------------------------------------------------------
+    def arrival_components(
+        self, netlist: Netlist, sizes: np.ndarray | None = None
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Canonical arrival-time components at every gate output."""
+        means, sens, rands = self.gate_delay_components(netlist, sizes)
+        fanins = netlist.fanin_indices()
+        n_gates = means.shape[0]
+        arr_mean = np.zeros(n_gates)
+        arr_sens = np.zeros((n_gates, self.n_factors))
+        arr_rand = np.zeros(n_gates)
+        for gate_pos, gate_fanins in enumerate(fanins):
+            if gate_fanins:
+                best_mean = arr_mean[gate_fanins[0]]
+                best_sens = arr_sens[gate_fanins[0]]
+                best_rand = arr_rand[gate_fanins[0]]
+                for fanin_pos in gate_fanins[1:]:
+                    best_mean, best_sens, best_rand = _max_arrays(
+                        best_mean,
+                        best_sens,
+                        best_rand,
+                        arr_mean[fanin_pos],
+                        arr_sens[fanin_pos],
+                        arr_rand[fanin_pos],
+                    )
+            else:
+                best_mean = 0.0
+                best_sens = np.zeros(self.n_factors)
+                best_rand = 0.0
+            arr_mean[gate_pos] = best_mean + means[gate_pos]
+            arr_sens[gate_pos] = best_sens + sens[gate_pos]
+            arr_rand[gate_pos] = float(np.hypot(best_rand, rands[gate_pos]))
+        return arr_mean, arr_sens, arr_rand
+
+    def combinational_delay(
+        self, netlist: Netlist, sizes: np.ndarray | None = None
+    ) -> CanonicalForm:
+        """Distribution of the block's combinational delay (max over outputs)."""
+        arr_mean, arr_sens, arr_rand = self.arrival_components(netlist, sizes)
+        mask = netlist.output_mask()
+        if not mask.any():
+            mask = np.ones(arr_mean.shape[0], dtype=bool)
+        positions = np.where(mask)[0]
+        # Process outputs in increasing order of mean arrival; the paper notes
+        # (after Ross/Clark) that this ordering minimises the approximation
+        # error of the pairwise max.
+        positions = positions[np.argsort(arr_mean[positions])]
+        first = positions[0]
+        mean = arr_mean[first]
+        sens = arr_sens[first].copy()
+        rand = arr_rand[first]
+        for pos in positions[1:]:
+            mean, sens, rand = _max_arrays(
+                mean, sens, rand, arr_mean[pos], arr_sens[pos], arr_rand[pos]
+            )
+        return CanonicalForm(mean, sens, rand)
+
+    # ------------------------------------------------------------------
+    # Sequential overhead and stage delay
+    # ------------------------------------------------------------------
+    def flipflop_form(
+        self,
+        flipflop: FlipFlopTiming,
+        position: tuple[float, float] = (0.5, 0.5),
+    ) -> CanonicalForm:
+        """Canonical form of the sequential overhead ``T_C-Q + T_setup``."""
+        tech = self.technology
+        var = self.variation
+        mean = flipflop.nominal_overhead(tech)
+        vth_slope = tech.alpha / tech.gate_overdrive
+        sens = np.zeros(self.n_factors)
+        sens[0] = mean * vth_slope * var.sigma_vth_inter
+        sens[1] = mean * var.sigma_l_inter
+        if self._spatial_loadings.shape[1] > 0:
+            cell = int(self.spatial.cell_index(position[0], position[1]))
+            loading = self._spatial_loadings[cell, :]
+            sens[2:] = mean * (
+                vth_slope * var.sigma_vth_systematic + var.sigma_l_systematic
+            ) * loading
+        sigma_random = mean * vth_slope * var.sigma_vth_random / flipflop.size**0.5
+        return CanonicalForm(mean, sens, sigma_random)
+
+    def stage_delay(
+        self,
+        netlist: Netlist,
+        flipflop: FlipFlopTiming | None = None,
+        flipflop_position: tuple[float, float] | None = None,
+        sizes: np.ndarray | None = None,
+    ) -> CanonicalForm:
+        """Distribution of a full stage delay ``T_C-Q + T_comb + T_setup``.
+
+        Parameters
+        ----------
+        netlist:
+            The stage's combinational logic.
+        flipflop:
+            Sequential-element model; omit for a purely combinational stage.
+        flipflop_position:
+            Die position of the stage's output register (defaults to the mean
+            position of the stage's gates).
+        sizes:
+            Optional size vector to analyse without mutating the netlist.
+        """
+        comb = self.combinational_delay(netlist, sizes)
+        if flipflop is None:
+            return comb
+        if flipflop_position is None:
+            xs, ys = netlist.positions()
+            flipflop_position = (float(xs.mean()), float(ys.mean())) if len(xs) else (0.5, 0.5)
+        overhead = self.flipflop_form(flipflop, flipflop_position)
+        return comb + overhead
+
+    # ------------------------------------------------------------------
+    # Cross-stage statistics
+    # ------------------------------------------------------------------
+    def correlation_matrix(self, forms: list[CanonicalForm]) -> np.ndarray:
+        """Correlation matrix of a list of canonical forms."""
+        n = len(forms)
+        matrix = np.eye(n)
+        for i in range(n):
+            for j in range(i + 1, n):
+                rho = forms[i].correlation(forms[j])
+                matrix[i, j] = rho
+                matrix[j, i] = rho
+        return matrix

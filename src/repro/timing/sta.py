@@ -1,0 +1,147 @@
+"""Deterministic static timing analysis.
+
+Walks a :class:`~repro.circuit.netlist.Netlist` in topological order and
+propagates arrival times:
+
+    arrival(g) = max over fanins f of arrival(f) + delay(g)
+
+Primary inputs arrive at time zero.  The functions accept either a single
+per-gate delay vector (shape ``(n_gates,)``) or a matrix of per-sample
+delays (shape ``(n_samples, n_gates)``); in the latter case every operation
+is vectorised across samples, which is what makes the Monte-Carlo engine
+fast enough to serve as the SPICE stand-in.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuit.netlist import Netlist
+
+
+def arrival_times(netlist: Netlist, gate_delays: np.ndarray) -> np.ndarray:
+    """Arrival time at the output of every gate.
+
+    Parameters
+    ----------
+    netlist:
+        Netlist to analyse.
+    gate_delays:
+        Per-gate delays in topological order: either ``(n_gates,)`` or
+        ``(n_samples, n_gates)``.
+
+    Returns
+    -------
+    numpy.ndarray
+        Arrival times with the same shape as ``gate_delays``.
+    """
+    gate_delays = np.asarray(gate_delays, dtype=float)
+    fanins = netlist.fanin_indices()
+    n_gates = len(fanins)
+    if gate_delays.shape[-1] != n_gates:
+        raise ValueError(
+            f"gate_delays last dimension must be {n_gates}, got {gate_delays.shape}"
+        )
+    arrivals = np.zeros_like(gate_delays)
+    if gate_delays.ndim == 1:
+        for gate_pos, gate_fanins in enumerate(fanins):
+            latest = 0.0
+            for fanin_pos in gate_fanins:
+                if arrivals[fanin_pos] > latest:
+                    latest = arrivals[fanin_pos]
+            arrivals[gate_pos] = latest + gate_delays[gate_pos]
+    elif gate_delays.ndim == 2:
+        for gate_pos, gate_fanins in enumerate(fanins):
+            if gate_fanins:
+                latest = arrivals[:, gate_fanins[0]]
+                for fanin_pos in gate_fanins[1:]:
+                    latest = np.maximum(latest, arrivals[:, fanin_pos])
+                arrivals[:, gate_pos] = latest + gate_delays[:, gate_pos]
+            else:
+                arrivals[:, gate_pos] = gate_delays[:, gate_pos]
+    else:
+        raise ValueError(
+            f"gate_delays must be 1-D or 2-D, got {gate_delays.ndim} dimensions"
+        )
+    return arrivals
+
+
+def max_delay(netlist: Netlist, gate_delays: np.ndarray) -> np.ndarray | float:
+    """Maximum arrival time over the primary outputs.
+
+    If no primary outputs are marked, the maximum over all gates is used
+    (every path must terminate somewhere).
+
+    Returns a scalar for 1-D delays, or an ``(n_samples,)`` array for 2-D.
+    """
+    arrivals = arrival_times(netlist, gate_delays)
+    mask = netlist.output_mask()
+    if not mask.any():
+        mask = np.ones(arrivals.shape[-1], dtype=bool)
+    if arrivals.ndim == 1:
+        return float(arrivals[mask].max())
+    return arrivals[:, mask].max(axis=1)
+
+
+def required_times(
+    netlist: Netlist, gate_delays: np.ndarray, target: float
+) -> np.ndarray:
+    """Latest allowed arrival time at every gate output for a delay target.
+
+    Propagated backwards from the primary outputs:
+    ``required(g) = min over fanouts h of (required(h) - delay(h))``,
+    with ``required = target`` at the primary outputs (or at sink gates when
+    no outputs are marked).  Only defined for 1-D delay vectors.
+    """
+    gate_delays = np.asarray(gate_delays, dtype=float)
+    if gate_delays.ndim != 1:
+        raise ValueError("required_times expects a 1-D delay vector")
+    fanouts = netlist.fanout_indices()
+    n_gates = len(fanouts)
+    mask = netlist.output_mask()
+    if not mask.any():
+        mask = np.array([not f for f in fanouts], dtype=bool)
+    required = np.full(n_gates, np.inf)
+    required[mask] = target
+    for gate_pos in range(n_gates - 1, -1, -1):
+        for fanout_pos in fanouts[gate_pos]:
+            candidate = required[fanout_pos] - gate_delays[fanout_pos]
+            if candidate < required[gate_pos]:
+                required[gate_pos] = candidate
+    # Sink gates that are not marked outputs still default to the target.
+    required[np.isinf(required)] = target
+    return required
+
+
+def slacks(netlist: Netlist, gate_delays: np.ndarray, target: float) -> np.ndarray:
+    """Per-gate slack (required minus arrival) for a delay target."""
+    arrivals = arrival_times(netlist, gate_delays)
+    required = required_times(netlist, gate_delays, target)
+    return required - arrivals
+
+
+def critical_path(netlist: Netlist, gate_delays: np.ndarray) -> list[str]:
+    """Gate names on the longest path, from first gate to primary output.
+
+    Only defined for 1-D delay vectors.
+    """
+    gate_delays = np.asarray(gate_delays, dtype=float)
+    if gate_delays.ndim != 1:
+        raise ValueError("critical_path expects a 1-D delay vector")
+    arrivals = arrival_times(netlist, gate_delays)
+    order = netlist.topological_order()
+    fanins = netlist.fanin_indices()
+    mask = netlist.output_mask()
+    if not mask.any():
+        mask = np.ones(len(order), dtype=bool)
+
+    candidates = np.where(mask)[0]
+    end_pos = int(candidates[np.argmax(arrivals[candidates])])
+    path_positions = [end_pos]
+    current = end_pos
+    while fanins[current]:
+        predecessor = max(fanins[current], key=lambda pos: arrivals[pos])
+        path_positions.append(predecessor)
+        current = predecessor
+    path_positions.reverse()
+    return [order[pos] for pos in path_positions]

@@ -1,0 +1,95 @@
+"""Shared fixtures for the test suite.
+
+Fixtures are deliberately small (tiny circuits, modest Monte-Carlo sample
+counts) so the whole suite stays fast; the heavyweight paper-scale runs live
+in ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuit.flipflop import FlipFlopTiming
+from repro.circuit.generators import inverter_chain, random_logic_block
+from repro.circuit.netlist import Netlist
+from repro.montecarlo.engine import MonteCarloEngine
+from repro.optimize.lagrangian import LagrangianSizer
+from repro.pipeline.builder import alu_decoder_pipeline, inverter_chain_pipeline
+from repro.pipeline.stage import PipelineStage
+from repro.process.technology import Technology, default_technology
+from repro.process.variation import VariationModel
+
+
+@pytest.fixture(scope="session")
+def technology() -> Technology:
+    """The default synthetic 70 nm technology."""
+    return default_technology()
+
+
+@pytest.fixture(scope="session")
+def variation_combined() -> VariationModel:
+    """Inter + intra (random and systematic) variation."""
+    return VariationModel.combined()
+
+
+@pytest.fixture(scope="session")
+def variation_intra_only() -> VariationModel:
+    """Random intra-die variation only (independent stages)."""
+    return VariationModel.intra_random_only()
+
+
+@pytest.fixture(scope="session")
+def variation_inter_only() -> VariationModel:
+    """Inter-die variation only (perfectly correlated stages)."""
+    return VariationModel.inter_only()
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic random generator for sampling tests."""
+    return np.random.default_rng(20050307)
+
+
+@pytest.fixture
+def small_chain() -> Netlist:
+    """A 6-inverter chain netlist."""
+    return inverter_chain(6, name="chain6")
+
+
+@pytest.fixture
+def small_random_block() -> Netlist:
+    """A small random-logic block (40 gates, depth 8)."""
+    return random_logic_block(
+        "blk40", n_gates=40, depth=8, n_inputs=6, n_outputs=4, seed=7
+    )
+
+
+@pytest.fixture
+def small_stage(small_random_block) -> PipelineStage:
+    """A pipeline stage wrapping the small random block."""
+    return PipelineStage(name="blk40", netlist=small_random_block, flipflop=FlipFlopTiming())
+
+
+@pytest.fixture
+def chain_pipeline_3x5():
+    """A 3-stage pipeline of 5-deep inverter chains."""
+    return inverter_chain_pipeline(3, 5)
+
+
+@pytest.fixture
+def alu_pipeline():
+    """The 3-stage ALU-Decoder pipeline (small width for test speed)."""
+    return alu_decoder_pipeline(width=4, n_address=3)
+
+
+@pytest.fixture
+def mc_engine_combined(variation_combined) -> MonteCarloEngine:
+    """Monte-Carlo engine with combined variation and a modest sample count."""
+    return MonteCarloEngine(variation_combined, n_samples=1500, seed=42)
+
+
+@pytest.fixture
+def lagrangian_sizer(technology, variation_combined) -> LagrangianSizer:
+    """Default statistical sizer."""
+    return LagrangianSizer(technology, variation_combined)

@@ -1,0 +1,94 @@
+"""Tests for repro.analysis (histogram, error metrics, reporting)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.error_metrics import (
+    ModelErrorReport,
+    compare_model_to_samples,
+    percent_error,
+)
+from repro.analysis.histogram import distribution_series, histogram_series, overlay_series
+from repro.analysis.reporting import format_series, format_table
+
+
+class TestErrorMetrics:
+    def test_percent_error(self):
+        assert percent_error(110.0, 100.0) == pytest.approx(10.0)
+        assert percent_error(90.0, 100.0) == pytest.approx(10.0)
+        assert percent_error(0.0, 0.0) == 0.0
+        with pytest.raises(ValueError):
+            percent_error(1.0, 0.0)
+
+    def test_compare_model_to_samples(self, rng):
+        samples = rng.normal(100.0, 5.0, size=50000)
+        report = compare_model_to_samples(100.0, 5.0, samples, target_delay=105.0,
+                                          model_yield=0.84)
+        assert report.mean_error_percent < 1.0
+        assert report.std_error_percent < 5.0
+        assert report.mc_yield == pytest.approx(0.84, abs=0.02)
+        assert report.yield_error_points is not None
+        assert report.yield_error_points < 3.0
+
+    def test_yield_error_none_when_not_requested(self, rng):
+        samples = rng.normal(100.0, 5.0, size=100)
+        report = compare_model_to_samples(100.0, 5.0, samples)
+        assert report.yield_error_points is None
+
+    def test_compare_validation(self):
+        with pytest.raises(ValueError):
+            compare_model_to_samples(1.0, 1.0, np.array([1.0]))
+
+
+class TestHistogram:
+    def test_histogram_series_density_normalised(self, rng):
+        samples = rng.normal(0.0, 1.0, size=20000)
+        centres, density = histogram_series(samples, bins=50)
+        width = centres[1] - centres[0]
+        assert (density * width).sum() == pytest.approx(1.0, rel=0.01)
+
+    def test_distribution_series_peaks_at_mean(self):
+        grid = np.linspace(-3, 3, 301)
+        density = distribution_series(0.0, 1.0, grid)
+        assert grid[np.argmax(density)] == pytest.approx(0.0, abs=0.05)
+
+    def test_overlay_series_keys_and_match(self, rng):
+        samples = rng.normal(10.0, 1.0, size=50000)
+        overlay = overlay_series(samples, 10.0, 1.0, bins=40)
+        assert set(overlay) == {"delay", "monte_carlo", "analytical"}
+        # The histogram and the Gaussian should roughly agree near the mode.
+        centre = np.argmin(np.abs(overlay["delay"] - 10.0))
+        assert overlay["monte_carlo"][centre] == pytest.approx(
+            overlay["analytical"][centre], rel=0.2
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            histogram_series(np.array([1.0]))
+        with pytest.raises(ValueError):
+            distribution_series(0.0, 0.0, np.array([1.0]))
+
+
+class TestReporting:
+    def test_format_table_contains_cells(self):
+        text = format_table(
+            ["name", "value"], [["a", 1.25], ["b", 2.5]], title="Table X"
+        )
+        assert "Table X" in text
+        assert "a" in text and "1.25" in text and "2.5" in text
+
+    def test_format_table_row_length_checked(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only one"]])
+
+    def test_format_series(self):
+        text = format_series("x", [1, 2, 3], {"y": [10.0, 20.0, 30.0]})
+        assert "x" in text and "y" in text and "30" in text
+
+    def test_format_series_length_checked(self):
+        with pytest.raises(ValueError):
+            format_series("x", [1, 2], {"y": [1.0]})
+
+    def test_scientific_formatting_for_small_values(self):
+        text = format_table(["v"], [[1.5e-12]])
+        assert "e-12" in text

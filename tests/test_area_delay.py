@@ -1,0 +1,112 @@
+"""Tests for repro.optimize.area_delay."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.flipflop import FlipFlopTiming
+from repro.circuit.generators import random_logic_block
+from repro.optimize.area_delay import AreaDelayCurve, AreaDelayPoint, characterize_stage
+from repro.pipeline.stage import PipelineStage
+
+
+def make_point(delay, area):
+    return AreaDelayPoint(
+        target_delay=delay,
+        delay=delay,
+        mean=delay * 0.95,
+        std=delay * 0.03,
+        area=area,
+        sizes=np.ones(3),
+        met_target=True,
+    )
+
+
+@pytest.fixture
+def curve():
+    return AreaDelayCurve(
+        stage_name="s",
+        target_yield=0.9,
+        points=(
+            make_point(1.0e-10, 300.0),
+            make_point(1.5e-10, 120.0),
+            make_point(2.0e-10, 80.0),
+            make_point(2.5e-10, 70.0),
+        ),
+    )
+
+
+class TestAreaDelayCurve:
+    def test_points_sorted_by_delay(self, curve):
+        assert np.all(np.diff(curve.delays()) > 0.0)
+
+    def test_areas_monotonically_decrease(self, curve):
+        assert np.all(np.diff(curve.areas()) < 0.0)
+
+    def test_dominated_points_removed(self):
+        curve = AreaDelayCurve(
+            stage_name="s",
+            target_yield=0.9,
+            points=(
+                make_point(1.0e-10, 300.0),
+                make_point(1.5e-10, 120.0),
+                make_point(1.8e-10, 500.0),  # dominated: slower AND bigger
+                make_point(2.5e-10, 70.0),
+            ),
+        )
+        assert len(curve.points) == 3
+        assert np.all(np.diff(curve.areas()) < 0.0)
+
+    def test_interpolation_roundtrip(self, curve):
+        delay = 1.7e-10
+        area = curve.area_for_delay(delay)
+        assert curve.delay_for_area(area) == pytest.approx(delay, rel=1e-6)
+
+    def test_interpolation_clamps_out_of_range(self, curve):
+        assert curve.area_for_delay(1e-11) == pytest.approx(300.0)
+        assert curve.area_for_delay(1.0) == pytest.approx(70.0)
+
+    def test_point_for_delay_picks_nearest(self, curve):
+        point = curve.point_for_delay(1.45e-10)
+        assert point.delay == pytest.approx(1.5e-10)
+
+    def test_min_max_delay(self, curve):
+        assert curve.min_delay == pytest.approx(1.0e-10)
+        assert curve.max_delay == pytest.approx(2.5e-10)
+
+    def test_sensitivity_ratio_positive(self, curve):
+        assert curve.sensitivity_ratio() > 0.0
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            AreaDelayCurve("s", 0.9, (make_point(1.0e-10, 100.0),))
+
+
+class TestCharacterizeStage:
+    @pytest.fixture
+    def stage(self):
+        block = random_logic_block(
+            "blk", n_gates=40, depth=8, n_inputs=6, n_outputs=3, seed=21
+        )
+        return PipelineStage("blk", block, flipflop=FlipFlopTiming())
+
+    def test_curve_has_expected_points_and_shape(self, stage, lagrangian_sizer):
+        curve = characterize_stage(stage, lagrangian_sizer, 0.93, n_points=3)
+        assert len(curve.points) >= 2
+        assert np.all(np.diff(curve.areas()) <= 0.0)
+        assert curve.stage_name == "blk"
+
+    def test_characterization_restores_sizes(self, stage, lagrangian_sizer):
+        before = stage.netlist.sizes()
+        characterize_stage(stage, lagrangian_sizer, 0.93, n_points=3)
+        assert np.allclose(stage.netlist.sizes(), before)
+
+    def test_endpoint_is_minimum_size_design(self, stage, lagrangian_sizer):
+        curve = characterize_stage(stage, lagrangian_sizer, 0.93, n_points=3)
+        min_area = stage.netlist.total_area(np.ones(stage.n_gates))
+        assert curve.areas().min() == pytest.approx(min_area, rel=1e-6)
+
+    def test_validation(self, stage, lagrangian_sizer):
+        with pytest.raises(ValueError):
+            characterize_stage(stage, lagrangian_sizer, 0.93, n_points=0)
+        with pytest.raises(ValueError):
+            characterize_stage(stage, lagrangian_sizer, 0.93, speedup_range=(1.0, 0.5))

@@ -1,0 +1,200 @@
+"""Tests for repro.core.clark (Clark's max approximation, paper eqs. 4-6)."""
+
+import numpy as np
+import pytest
+from scipy.stats import norm
+
+from repro.core.clark import (
+    correlation_with_max,
+    max_of_gaussians,
+    max_of_two_gaussians,
+)
+
+
+class TestMaxOfTwo:
+    def test_iid_standard_normals_known_moments(self):
+        """E[max(X,Y)] = 1/sqrt(pi), Var = 1 - 1/pi for iid N(0,1)."""
+        result = max_of_two_gaussians(0.0, 1.0, 0.0, 1.0, 0.0)
+        assert result.mean == pytest.approx(1.0 / np.sqrt(np.pi), rel=1e-9)
+        assert result.variance == pytest.approx(1.0 - 1.0 / np.pi, rel=1e-9)
+
+    def test_perfectly_correlated_equal_sigmas(self):
+        result = max_of_two_gaussians(1.0, 0.5, 2.0, 0.5, 1.0)
+        assert result.mean == pytest.approx(2.0)
+        assert result.std == pytest.approx(0.5)
+
+    def test_dominant_variable_wins(self):
+        result = max_of_two_gaussians(0.0, 1.0, 100.0, 1.0, 0.0)
+        assert result.mean == pytest.approx(100.0, rel=1e-9)
+        assert result.std == pytest.approx(1.0, rel=1e-6)
+
+    def test_symmetry(self):
+        a = max_of_two_gaussians(1.0, 0.3, 2.0, 0.8, 0.4)
+        b = max_of_two_gaussians(2.0, 0.8, 1.0, 0.3, 0.4)
+        assert a.mean == pytest.approx(b.mean)
+        assert a.std == pytest.approx(b.std)
+
+    def test_mean_of_max_exceeds_both_means(self):
+        result = max_of_two_gaussians(1.0, 0.5, 1.2, 0.7, 0.2)
+        assert result.mean >= 1.2
+
+    def test_correlation_reduces_mean_of_max(self):
+        independent = max_of_two_gaussians(1.0, 0.5, 1.0, 0.5, 0.0)
+        correlated = max_of_two_gaussians(1.0, 0.5, 1.0, 0.5, 0.8)
+        assert correlated.mean < independent.mean
+
+    def test_deterministic_inputs(self):
+        result = max_of_two_gaussians(3.0, 0.0, 5.0, 0.0, 0.0)
+        assert result.mean == pytest.approx(5.0)
+        assert result.std == pytest.approx(0.0)
+
+    def test_scale_invariance_in_time_units(self):
+        """Moments scale linearly with the unit (seconds vs picoseconds)."""
+        in_seconds = max_of_two_gaussians(200e-12, 10e-12, 210e-12, 12e-12, 0.3)
+        in_picoseconds = max_of_two_gaussians(200.0, 10.0, 210.0, 12.0, 0.3)
+        assert in_seconds.mean * 1e12 == pytest.approx(in_picoseconds.mean, rel=1e-9)
+        assert in_seconds.std * 1e12 == pytest.approx(in_picoseconds.std, rel=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            max_of_two_gaussians(0.0, -1.0, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            max_of_two_gaussians(0.0, 1.0, 0.0, 1.0, correlation=1.5)
+
+    def test_against_monte_carlo(self):
+        rng = np.random.default_rng(1)
+        cov = np.array([[1.0, 0.3 * 1.0 * 2.0], [0.3 * 1.0 * 2.0, 4.0]])
+        samples = rng.multivariate_normal([1.0, 0.5], cov, size=400000).max(axis=1)
+        result = max_of_two_gaussians(1.0, 1.0, 0.5, 2.0, 0.3)
+        assert result.mean == pytest.approx(samples.mean(), rel=0.01)
+        assert result.std == pytest.approx(samples.std(), rel=0.02)
+
+
+class TestCorrelationWithMax:
+    def test_symmetric_case(self):
+        """Y correlated identically with X1, X2 keeps that correlation with the max."""
+        rho = correlation_with_max(
+            0.0, 1.0, 0.0, 1.0, 0.0, std_other=1.0,
+            correlation_other_1=0.5, correlation_other_2=0.5,
+        )
+        # Cov(Y, max) = 0.5*Phi(0) + 0.5*Phi(0) = 0.5; sigma_max = sqrt(1-1/pi)
+        expected = 0.5 / np.sqrt(1.0 - 1.0 / np.pi)
+        assert rho == pytest.approx(expected, rel=1e-9)
+
+    def test_uncorrelated_third_variable(self):
+        rho = correlation_with_max(
+            0.0, 1.0, 0.0, 1.0, 0.0, std_other=1.0,
+            correlation_other_1=0.0, correlation_other_2=0.0,
+        )
+        assert rho == pytest.approx(0.0)
+
+    def test_dominant_branch_determines_correlation(self):
+        rho = correlation_with_max(
+            100.0, 1.0, 0.0, 1.0, 0.0, std_other=1.0,
+            correlation_other_1=0.9, correlation_other_2=0.0,
+        )
+        assert rho == pytest.approx(0.9, rel=1e-6)
+
+    def test_result_clipped_to_valid_range(self):
+        rho = correlation_with_max(
+            0.0, 1.0, 0.0, 1.0, 0.99, std_other=1.0,
+            correlation_other_1=1.0, correlation_other_2=1.0,
+        )
+        assert -1.0 <= rho <= 1.0
+
+    def test_zero_sigma_other_gives_zero(self):
+        rho = correlation_with_max(
+            0.0, 1.0, 0.0, 1.0, 0.0, std_other=0.0,
+            correlation_other_1=0.5, correlation_other_2=0.5,
+        )
+        assert rho == 0.0
+
+
+class TestMaxOfGaussians:
+    def test_single_variable_identity(self):
+        result = max_of_gaussians(np.array([2.0]), np.array([0.3]))
+        assert result.mean == pytest.approx(2.0)
+        assert result.std == pytest.approx(0.3)
+
+    def test_iid_max_against_monte_carlo(self):
+        rng = np.random.default_rng(2)
+        n = 8
+        samples = rng.standard_normal((400000, n)).max(axis=1)
+        result = max_of_gaussians(np.zeros(n), np.ones(n))
+        assert result.mean == pytest.approx(samples.mean(), rel=0.01)
+        # Clark's repeated pairwise reduction is known to underestimate the
+        # sigma of an iid max slightly; allow that bias.
+        assert result.std == pytest.approx(samples.std(), rel=0.08)
+
+    def test_correlated_max_against_monte_carlo(self):
+        rng = np.random.default_rng(3)
+        n = 6
+        rho = 0.5
+        cov = np.full((n, n), rho)
+        np.fill_diagonal(cov, 1.0)
+        samples = rng.multivariate_normal(np.zeros(n), cov, size=300000).max(axis=1)
+        result = max_of_gaussians(np.zeros(n), np.ones(n), cov)
+        assert result.mean == pytest.approx(samples.mean(), rel=0.01)
+        assert result.std == pytest.approx(samples.std(), rel=0.05)
+
+    def test_perfectly_correlated_stages(self):
+        n = 5
+        corr = np.ones((n, n))
+        means = np.array([1.0, 2.0, 3.0, 2.5, 1.5])
+        stds = np.full(n, 0.4)
+        result = max_of_gaussians(means, stds, corr)
+        assert result.mean == pytest.approx(3.0)
+        assert result.std == pytest.approx(0.4)
+
+    def test_mean_respects_jensen_lower_bound(self):
+        rng = np.random.default_rng(4)
+        means = rng.uniform(1.0, 2.0, size=7)
+        stds = rng.uniform(0.1, 0.4, size=7)
+        result = max_of_gaussians(means, stds)
+        assert result.mean >= means.max() - 1e-12
+
+    def test_more_variables_larger_mean(self):
+        base = max_of_gaussians(np.zeros(3), np.ones(3))
+        more = max_of_gaussians(np.zeros(6), np.ones(6))
+        assert more.mean > base.mean
+
+    def test_orderings_give_similar_results(self):
+        rng = np.random.default_rng(5)
+        means = rng.uniform(0.9, 1.1, size=6)
+        stds = rng.uniform(0.05, 0.15, size=6)
+        increasing = max_of_gaussians(means, stds, ordering="increasing")
+        decreasing = max_of_gaussians(means, stds, ordering="decreasing")
+        given = max_of_gaussians(means, stds, ordering="given")
+        assert increasing.mean == pytest.approx(decreasing.mean, rel=0.02)
+        assert increasing.mean == pytest.approx(given.mean, rel=0.02)
+
+    def test_all_orderings_stay_close_to_truth(self):
+        """All orderings approximate the true moments; the ordering ablation
+        benchmark quantifies which one is best for which statistics."""
+        rng = np.random.default_rng(6)
+        means = np.array([0.0, 0.5, 1.0, 1.5, 2.0])
+        stds = np.array([1.5, 1.2, 1.0, 0.8, 0.5])
+        samples = (
+            rng.standard_normal((500000, 5)) * stds[None, :] + means[None, :]
+        ).max(axis=1)
+        for ordering in ("increasing", "decreasing", "given"):
+            result = max_of_gaussians(means, stds, ordering=ordering)
+            assert result.mean == pytest.approx(samples.mean(), rel=0.02)
+            assert result.std == pytest.approx(samples.std(), rel=0.10)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            max_of_gaussians(np.array([]), np.array([]))
+        with pytest.raises(ValueError):
+            max_of_gaussians(np.zeros(2), np.ones(3))
+        with pytest.raises(ValueError):
+            max_of_gaussians(np.zeros(2), np.ones(2), np.ones((3, 3)))
+        with pytest.raises(ValueError):
+            max_of_gaussians(np.zeros(2), np.ones(2), np.array([[1.0, 2.0], [2.0, 1.0]]))
+        with pytest.raises(ValueError):
+            max_of_gaussians(np.zeros(2), np.ones(2), ordering="random")
+
+    def test_asymmetric_correlation_matrix_rejected(self):
+        corr = np.array([[1.0, 0.2], [0.5, 1.0]])
+        with pytest.raises(ValueError):
+            max_of_gaussians(np.zeros(2), np.ones(2), corr)

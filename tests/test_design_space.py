@@ -1,0 +1,128 @@
+"""Tests for repro.core.design_space (paper section 2.5, Fig. 4)."""
+
+import numpy as np
+import pytest
+from scipy.stats import norm
+
+from repro.core.design_space import DesignSpace, GateDelayCharacteristics
+from repro.core.stage_delay import StageDelayDistribution
+from repro.core.yield_model import yield_independent
+
+
+@pytest.fixture
+def space():
+    return DesignSpace(target_delay=200e-12, target_yield=0.9)
+
+
+@pytest.fixture
+def gates():
+    return GateDelayCharacteristics(
+        mu_min=12e-12, sigma_min=1.2e-12, mu_max=6e-12, sigma_max=0.5e-12
+    )
+
+
+class TestBounds:
+    def test_relaxed_bound_at_zero_sigma_is_target(self, space):
+        assert space.relaxed_upper_bound(0.0) == pytest.approx(200e-12)
+
+    def test_relaxed_bound_decreases_with_sigma(self, space):
+        sigmas = np.linspace(0.0, 30e-12, 10)
+        bounds = space.relaxed_upper_bound(sigmas)
+        assert np.all(np.diff(bounds) < 0.0)
+
+    def test_equality_bound_tighter_than_relaxed(self, space):
+        sigma = 10e-12
+        assert space.equality_bound(sigma, n_stages=5) < space.relaxed_upper_bound(sigma)
+
+    def test_equality_bound_tightens_with_stage_count(self, space):
+        """The paper's Fig. 4: the n2 > n1 bound lies below the n1 bound."""
+        sigma = 10e-12
+        assert space.equality_bound(sigma, 8) < space.equality_bound(sigma, 2)
+
+    def test_equality_bound_matches_eq12(self, space):
+        sigma = 8e-12
+        n_stages = 4
+        stage_yield = 0.9 ** (1.0 / n_stages)
+        expected = 200e-12 - sigma * float(norm.ppf(stage_yield))
+        assert space.equality_bound(sigma, n_stages) == pytest.approx(expected)
+
+    def test_mean_upper_bound_eq10(self, space):
+        assert space.mean_upper_bound(5e-12) == pytest.approx(
+            200e-12 - 5e-12 * float(norm.ppf(0.9))
+        )
+
+    def test_feasibility_predicates(self, space):
+        assert space.satisfies_relaxed_bound(150e-12, 5e-12)
+        assert not space.satisfies_relaxed_bound(210e-12, 5e-12)
+        assert space.satisfies_equality_bound(150e-12, 5e-12, 4)
+        assert not space.satisfies_equality_bound(199e-12, 20e-12, 4)
+
+    def test_point_on_equality_bound_achieves_target_yield(self, space):
+        """A pipeline of N stages sitting exactly on the eq. 12 bound yields Y."""
+        n_stages = 4
+        sigma = 6e-12
+        mu = space.equality_bound(sigma, n_stages)
+        stages = [StageDelayDistribution(mu, sigma) for _ in range(n_stages)]
+        assert yield_independent(stages, 200e-12) == pytest.approx(0.9, abs=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DesignSpace(0.0, 0.9)
+        with pytest.raises(ValueError):
+            DesignSpace(1.0, 1.5)
+        space = DesignSpace(1.0, 0.9)
+        with pytest.raises(ValueError):
+            space.mean_upper_bound(-1.0)
+        with pytest.raises(ValueError):
+            space.equality_bound(1.0, 0)
+
+
+class TestRealizableBounds:
+    def test_realizable_sigma_eq13(self, space):
+        sigma = space.realizable_sigma(120e-12, gate_mu=12e-12, gate_sigma=1.2e-12)
+        # 10 gates -> sigma = sqrt(10) * 1.2 ps
+        assert sigma == pytest.approx(np.sqrt(10) * 1.2e-12)
+
+    def test_realizable_band_ordering(self, space, gates):
+        mu = 100e-12
+        lower, upper = space.realizable_bounds(mu, gates)
+        assert lower < upper
+
+    def test_minimum_realizable_point(self, space, gates):
+        mu, sigma = space.minimum_realizable_point(gates, min_logic_depth=4)
+        assert mu == pytest.approx(4 * gates.mu_max)
+        assert sigma == pytest.approx(2.0 * gates.sigma_max)
+
+    def test_gate_characteristics_validation(self):
+        with pytest.raises(ValueError):
+            GateDelayCharacteristics(mu_min=1.0, sigma_min=0.1, mu_max=2.0, sigma_max=0.1)
+        with pytest.raises(ValueError):
+            GateDelayCharacteristics(mu_min=0.0, sigma_min=0.1, mu_max=0.0, sigma_max=0.1)
+
+    def test_realizable_sigma_validation(self, space):
+        with pytest.raises(ValueError):
+            space.realizable_sigma(1.0, gate_mu=0.0, gate_sigma=0.1)
+
+
+class TestRegion:
+    def test_region_shapes(self, space, gates):
+        region = space.region(n_stages=4, gates=gates, n_mu=30, n_sigma=20)
+        assert region.mu_grid.shape == (30, 20)
+        assert region.feasible.shape == (30, 20)
+        assert region.realizable.shape == (30, 20)
+
+    def test_region_has_both_feasible_and_infeasible_points(self, space, gates):
+        region = space.region(n_stages=4, gates=gates)
+        assert 0.0 < region.feasible_fraction < 1.0
+
+    def test_feasible_region_shrinks_with_more_stages(self, space, gates):
+        few = space.region(n_stages=2, gates=gates)
+        many = space.region(n_stages=16, gates=gates)
+        assert many.feasible_fraction < few.feasible_fraction
+
+    def test_realizable_and_feasible_subset(self, space, gates):
+        region = space.region(n_stages=4, gates=gates)
+        combined = region.realizable_and_feasible
+        assert np.all(combined <= region.feasible)
+        assert np.all(combined <= region.realizable)
+        assert combined.any()

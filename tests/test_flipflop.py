@@ -1,0 +1,74 @@
+"""Tests for repro.circuit.flipflop."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.flipflop import FlipFlopTiming
+from repro.process.technology import default_technology
+
+
+class TestNominalTiming:
+    def test_overhead_is_sum_of_cq_and_setup(self):
+        tech = default_technology()
+        ff = FlipFlopTiming()
+        assert ff.nominal_overhead(tech) == pytest.approx(
+            ff.nominal_clk_to_q(tech) + ff.nominal_setup(tech)
+        )
+
+    def test_overhead_positive_and_reasonable(self):
+        tech = default_technology()
+        ff = FlipFlopTiming()
+        overhead = ff.nominal_overhead(tech)
+        # A register overhead should be tens of picoseconds in a 70 nm node.
+        assert 20e-12 < overhead < 200e-12
+
+    def test_more_stages_means_more_overhead(self):
+        tech = default_technology()
+        assert FlipFlopTiming(clk_to_q_stages=4.0).nominal_overhead(
+            tech
+        ) > FlipFlopTiming(clk_to_q_stages=2.0).nominal_overhead(tech)
+
+    def test_zero_stage_ff_has_zero_overhead(self):
+        tech = default_technology()
+        ff = FlipFlopTiming(clk_to_q_stages=0.0, setup_stages=0.0)
+        assert ff.nominal_overhead(tech) == pytest.approx(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FlipFlopTiming(clk_to_q_stages=-1.0)
+        with pytest.raises(ValueError):
+            FlipFlopTiming(size=0.0)
+        with pytest.raises(ValueError):
+            FlipFlopTiming(fanout=0.0)
+
+    def test_area_positive(self):
+        tech = default_technology()
+        assert FlipFlopTiming().area(tech) > 0.0
+
+
+class TestSampledOverhead:
+    def test_nominal_vth_gives_nominal_overhead(self):
+        tech = default_technology()
+        ff = FlipFlopTiming()
+        samples = ff.overhead_samples(tech, np.array([tech.vth0]))
+        assert samples[0] == pytest.approx(ff.nominal_overhead(tech))
+
+    def test_high_vth_slows_the_register(self):
+        tech = default_technology()
+        ff = FlipFlopTiming()
+        slow = ff.overhead_samples(tech, np.array([tech.vth0 + 0.05]))[0]
+        assert slow > ff.nominal_overhead(tech)
+
+    def test_length_scaling(self):
+        tech = default_technology()
+        ff = FlipFlopTiming()
+        stretched = ff.overhead_samples(
+            tech, np.array([tech.vth0]), np.array([1.1 * tech.lmin])
+        )[0]
+        assert stretched == pytest.approx(1.1 * ff.nominal_overhead(tech))
+
+    def test_sample_shape_preserved(self):
+        tech = default_technology()
+        ff = FlipFlopTiming()
+        vth = np.full((7,), tech.vth0)
+        assert ff.overhead_samples(tech, vth).shape == (7,)

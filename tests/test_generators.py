@@ -1,0 +1,106 @@
+"""Tests for repro.circuit.generators."""
+
+import pytest
+
+from repro.circuit.generators import (
+    alu_block,
+    decoder_block,
+    inverter_chain,
+    random_logic_block,
+)
+
+
+class TestInverterChain:
+    def test_depth_and_gate_count(self):
+        chain = inverter_chain(7)
+        assert chain.n_gates == 7
+        assert chain.logic_depth() == 7
+
+    def test_single_output_marked(self):
+        chain = inverter_chain(4)
+        assert len(chain.primary_outputs) == 1
+
+    def test_size_applied_to_all_gates(self):
+        chain = inverter_chain(3, size=2.5)
+        assert all(gate.size == pytest.approx(2.5) for gate in chain.gates.values())
+
+    def test_rejects_zero_depth(self):
+        with pytest.raises(ValueError):
+            inverter_chain(0)
+
+
+class TestRandomLogicBlock:
+    def test_gate_count_matches_request(self):
+        block = random_logic_block("b", n_gates=60, depth=10, n_inputs=8, n_outputs=5, seed=3)
+        assert block.n_gates == 60
+
+    def test_depth_matches_request(self):
+        block = random_logic_block("b", n_gates=80, depth=12, n_inputs=8, n_outputs=5, seed=3)
+        assert block.logic_depth() == 12
+
+    def test_io_counts(self):
+        block = random_logic_block("b", n_gates=50, depth=9, n_inputs=11, n_outputs=6, seed=1)
+        assert len(block.primary_inputs) == 11
+        assert len(block.primary_outputs) == 6
+
+    def test_deterministic_for_fixed_seed(self):
+        a = random_logic_block("b", n_gates=40, depth=8, n_inputs=6, n_outputs=4, seed=9)
+        b = random_logic_block("b", n_gates=40, depth=8, n_inputs=6, n_outputs=4, seed=9)
+        assert [g.cell for g in a.gates.values()] == [g.cell for g in b.gates.values()]
+        assert [g.fanins for g in a.gates.values()] == [g.fanins for g in b.gates.values()]
+
+    def test_different_seeds_differ(self):
+        a = random_logic_block("b", n_gates=40, depth=8, n_inputs=6, n_outputs=4, seed=9)
+        b = random_logic_block("b", n_gates=40, depth=8, n_inputs=6, n_outputs=4, seed=10)
+        assert [g.fanins for g in a.gates.values()] != [g.fanins for g in b.gates.values()]
+
+    def test_acyclic(self):
+        block = random_logic_block("b", n_gates=120, depth=15, n_inputs=10, n_outputs=8, seed=5)
+        assert len(block.topological_order()) == 120
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            random_logic_block("b", n_gates=5, depth=10, n_inputs=3, n_outputs=2, seed=1)
+        with pytest.raises(ValueError):
+            random_logic_block("b", n_gates=10, depth=0, n_inputs=3, n_outputs=2, seed=1)
+        with pytest.raises(ValueError):
+            random_logic_block("b", n_gates=10, depth=2, n_inputs=0, n_outputs=2, seed=1)
+
+
+class TestStructuredBlocks:
+    def test_alu_full_has_sum_outputs(self):
+        alu = alu_block(width=4, part="full")
+        assert alu.n_gates > 0
+        assert any(name.startswith("sum") for name in alu.primary_outputs)
+
+    def test_alu_parts_are_smaller_than_full(self):
+        full = alu_block(width=8, part="full")
+        lower = alu_block(width=8, part="lower")
+        upper = alu_block(width=8, part="upper")
+        assert lower.n_gates < full.n_gates
+        assert upper.n_gates < full.n_gates
+
+    def test_alu_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            alu_block(width=1)
+        with pytest.raises(ValueError):
+            alu_block(width=4, part="middle")
+
+    def test_alu_carry_chain_gives_depth_proportional_to_width(self):
+        shallow = alu_block(width=4, part="full")
+        deep = alu_block(width=8, part="full")
+        assert deep.logic_depth() > shallow.logic_depth()
+
+    def test_decoder_output_count(self):
+        decoder = decoder_block(n_address=3)
+        assert len(decoder.primary_outputs) == 8
+
+    def test_decoder_depth_is_shallow(self):
+        decoder = decoder_block(n_address=4)
+        assert decoder.logic_depth() <= 6
+
+    def test_decoder_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            decoder_block(n_address=1)
+        with pytest.raises(ValueError):
+            decoder_block(n_address=9)

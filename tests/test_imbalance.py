@@ -1,0 +1,95 @@
+"""Tests for repro.core.imbalance (paper section 3.2, eq. 14)."""
+
+import numpy as np
+import pytest
+
+from repro.core.imbalance import (
+    StageAction,
+    classify_stage,
+    classify_stages,
+    imbalance_improves_yield,
+    pipeline_yield_from_stage_yields,
+    sensitivity_ratio,
+)
+
+
+class TestSensitivityRatio:
+    def test_unit_elasticity_curve(self):
+        """A = c / D has elasticity exactly 1 everywhere."""
+        delays = np.linspace(1.0, 2.0, 50)
+        areas = 3.0 / delays
+        ratio = sensitivity_ratio(areas, delays)
+        assert ratio == pytest.approx(1.0, rel=0.01)
+
+    def test_steep_curve_has_high_ratio(self):
+        delays = np.linspace(1.0, 2.0, 50)
+        areas = 5.0 / delays**3
+        assert sensitivity_ratio(areas, delays) > 1.5
+
+    def test_flat_curve_has_low_ratio(self):
+        delays = np.linspace(1.0, 2.0, 50)
+        areas = 2.0 - 0.05 * delays
+        assert sensitivity_ratio(areas, delays) < 0.2
+
+    def test_unsorted_points_accepted(self):
+        delays = np.array([2.0, 1.0, 1.5])
+        areas = np.array([1.0, 2.0, 4.0 / 3.0])
+        # Only three coarse samples of A = c/D: the finite-difference slope is
+        # approximate, so just require the elasticity to be near unity.
+        assert sensitivity_ratio(areas, delays) == pytest.approx(1.0, rel=0.2)
+
+    def test_at_delay_is_clipped_into_range(self):
+        delays = np.linspace(1.0, 2.0, 10)
+        areas = 3.0 / delays
+        assert sensitivity_ratio(areas, delays, at_delay=100.0) > 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sensitivity_ratio(np.array([1.0]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            sensitivity_ratio(np.array([1.0, 2.0]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            sensitivity_ratio(np.array([-1.0, 2.0]), np.array([1.0, 2.0]))
+
+
+class TestClassification:
+    def test_high_ratio_is_shrink(self):
+        record = classify_stage("s", 2.0)
+        assert record.action is StageAction.SHRINK
+        assert record.is_cheap_to_slow_down
+
+    def test_low_ratio_is_grow(self):
+        assert classify_stage("s", 0.4).action is StageAction.GROW
+
+    def test_near_unity_is_neutral(self):
+        assert classify_stage("s", 1.01).action is StageAction.NEUTRAL
+
+    def test_negative_ratio_rejected(self):
+        with pytest.raises(ValueError):
+            classify_stage("s", -0.1)
+
+    def test_classify_stages_sorted_descending(self):
+        records = classify_stages({"a": 0.5, "b": 2.0, "c": 1.0})
+        assert [r.name for r in records] == ["b", "c", "a"]
+        assert records[0].action is StageAction.SHRINK
+        assert records[-1].action is StageAction.GROW
+
+
+class TestYieldComposition:
+    def test_product_of_stage_yields(self):
+        assert pipeline_yield_from_stage_yields([0.9, 0.9, 0.9]) == pytest.approx(0.729)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pipeline_yield_from_stage_yields([])
+        with pytest.raises(ValueError):
+            pipeline_yield_from_stage_yields([1.2])
+
+    def test_imbalance_criterion_improvement(self):
+        """The paper's Y1*Y2*Y3 > Y0^3 check."""
+        assert imbalance_improves_yield(0.93, [0.91, 0.99, 0.91])
+        assert not imbalance_improves_yield(0.93, [0.80, 0.99, 0.80])
+
+    def test_imbalance_criterion_validation(self):
+        with pytest.raises(ValueError):
+            imbalance_improves_yield(1.2, [0.9])

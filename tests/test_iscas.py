@@ -1,0 +1,46 @@
+"""Tests for repro.circuit.iscas."""
+
+import pytest
+
+from repro.circuit.iscas import ISCAS_PROFILES, available_benchmarks, iscas_benchmark
+
+
+class TestProfiles:
+    def test_paper_benchmarks_present(self):
+        for name in ("c432", "c1908", "c2670", "c3540"):
+            assert name in ISCAS_PROFILES
+
+    def test_alias_for_papers_c1980(self):
+        alias = iscas_benchmark("c1980")
+        canonical = ISCAS_PROFILES["c1908"]
+        assert alias.n_gates == canonical.n_gates
+
+    def test_available_benchmarks_lists_alias(self):
+        names = available_benchmarks()
+        assert "c1980" in names and "c432" in names
+
+
+class TestGeneratedStructure:
+    @pytest.mark.parametrize("name", ["c432", "c1908", "c2670", "c3540"])
+    def test_matches_published_profile(self, name):
+        profile = ISCAS_PROFILES[name]
+        netlist = iscas_benchmark(name)
+        assert netlist.n_gates == profile.n_gates
+        assert len(netlist.primary_inputs) == profile.n_inputs
+        assert len(netlist.primary_outputs) == profile.n_outputs
+        assert netlist.logic_depth() == profile.depth
+
+    def test_deterministic(self):
+        a = iscas_benchmark("c432")
+        b = iscas_benchmark("c432")
+        assert [g.fanins for g in a.gates.values()] == [
+            g.fanins for g in b.gates.values()
+        ]
+
+    def test_relative_sizes_are_ordered(self):
+        assert iscas_benchmark("c432").n_gates < iscas_benchmark("c1908").n_gates
+        assert iscas_benchmark("c1908").n_gates < iscas_benchmark("c3540").n_gates
+
+    def test_unknown_benchmark_raises(self):
+        with pytest.raises(KeyError):
+            iscas_benchmark("c9999")

@@ -1,0 +1,162 @@
+"""Tests for repro.montecarlo (engine and results)."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.flipflop import FlipFlopTiming
+from repro.circuit.generators import inverter_chain
+from repro.montecarlo.engine import MonteCarloEngine
+from repro.montecarlo.results import MonteCarloResult, PipelineMonteCarloResult
+from repro.pipeline.builder import inverter_chain_pipeline
+from repro.pipeline.stage import PipelineStage
+from repro.process.variation import VariationModel
+
+
+class TestMonteCarloResult:
+    def test_statistics(self, rng):
+        samples = rng.normal(100.0, 5.0, size=50000)
+        result = MonteCarloResult(samples)
+        assert result.mean == pytest.approx(100.0, rel=0.01)
+        assert result.std == pytest.approx(5.0, rel=0.05)
+        assert result.variability == pytest.approx(0.05, rel=0.05)
+        assert result.yield_at(100.0) == pytest.approx(0.5, abs=0.02)
+        assert result.n_samples == 50000
+
+    def test_delay_at_yield_matches_quantile(self, rng):
+        samples = rng.normal(100.0, 5.0, size=50000)
+        result = MonteCarloResult(samples)
+        assert result.yield_at(result.delay_at_yield(0.9)) == pytest.approx(0.9, abs=0.01)
+
+    def test_histogram_and_summary(self, rng):
+        result = MonteCarloResult(rng.normal(1e-10, 5e-12, size=1000))
+        counts, edges = result.histogram(bins=20)
+        assert counts.sum() == 1000
+        assert len(edges) == 21
+        summary = result.summary()
+        assert set(summary) == {"mean_ps", "std_ps", "variability", "p99_ps"}
+
+    def test_to_distribution(self, rng):
+        result = MonteCarloResult(rng.normal(1e-10, 5e-12, size=5000), name="s")
+        dist = result.to_distribution()
+        assert dist.mean == pytest.approx(result.mean)
+        assert dist.name == "s"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MonteCarloResult(np.array([1.0]))
+        result = MonteCarloResult(np.array([1.0, 2.0, 3.0]))
+        with pytest.raises(ValueError):
+            result.delay_at_yield(1.5)
+
+
+class TestPipelineMonteCarloResult:
+    def test_pipeline_samples_are_stage_max(self):
+        stage_samples = np.array([[1.0, 3.0], [2.0, 1.0], [5.0, 4.0]])
+        result = PipelineMonteCarloResult(stage_samples, ("a", "b"))
+        assert np.allclose(result.pipeline_samples, [3.0, 2.0, 5.0])
+
+    def test_stage_lookup_by_name_and_index(self):
+        stage_samples = np.array([[1.0, 3.0], [2.0, 1.0], [5.0, 4.0]])
+        result = PipelineMonteCarloResult(stage_samples, ("a", "b"))
+        assert result.stage_result("b").mean == result.stage_result(1).mean
+        with pytest.raises(KeyError):
+            result.stage_result("zzz")
+        with pytest.raises(IndexError):
+            result.stage_result(5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PipelineMonteCarloResult(np.zeros((3,)), ("a",))
+        with pytest.raises(ValueError):
+            PipelineMonteCarloResult(np.zeros((3, 2)), ("a",))
+
+
+class TestEngineOnStages:
+    def test_reproducible_for_fixed_seed(self, variation_combined):
+        chain = inverter_chain(5)
+        stage = PipelineStage("s", chain)
+        a = MonteCarloEngine(variation_combined, n_samples=200, seed=9).run_stage(stage)
+        b = MonteCarloEngine(variation_combined, n_samples=200, seed=9).run_stage(stage)
+        assert np.allclose(a.samples, b.samples)
+
+    def test_different_seeds_differ(self, variation_combined):
+        chain = inverter_chain(5)
+        stage = PipelineStage("s", chain)
+        a = MonteCarloEngine(variation_combined, n_samples=200, seed=9).run_stage(stage)
+        b = MonteCarloEngine(variation_combined, n_samples=200, seed=10).run_stage(stage)
+        assert not np.allclose(a.samples, b.samples, rtol=1e-6, atol=0.0)
+
+    def test_stage_delay_includes_register_overhead(self, variation_intra_only, technology):
+        chain = inverter_chain(5)
+        with_ff = PipelineStage("s", chain, flipflop=FlipFlopTiming())
+        without_ff = PipelineStage(
+            "s2", chain.copy(), flipflop=FlipFlopTiming(clk_to_q_stages=0.0, setup_stages=0.0)
+        )
+        engine = MonteCarloEngine(variation_intra_only, n_samples=500, seed=1)
+        assert engine.run_stage(with_ff).mean > engine.run_netlist(chain).mean
+        assert engine.run_netlist(chain).mean == pytest.approx(
+            engine.run_stage(without_ff).mean, rel=1e-9
+        )
+
+    def test_no_variation_gives_zero_spread(self, technology):
+        silent = VariationModel(
+            sigma_vth_inter=0.0,
+            sigma_vth_random=0.0,
+            sigma_vth_systematic=0.0,
+            sigma_l_inter=0.0,
+            sigma_l_systematic=0.0,
+        )
+        chain = inverter_chain(5)
+        result = MonteCarloEngine(silent, n_samples=100, seed=1).run_netlist(chain)
+        assert result.std == pytest.approx(0.0, abs=1e-18)
+
+    def test_engine_validation(self, variation_combined):
+        with pytest.raises(ValueError):
+            MonteCarloEngine(variation_combined, n_samples=1)
+
+
+class TestEngineOnPipelines:
+    def test_shapes_and_names(self, variation_combined):
+        pipeline = inverter_chain_pipeline(4, 6)
+        engine = MonteCarloEngine(variation_combined, n_samples=300, seed=2)
+        result = engine.run_pipeline(pipeline)
+        assert result.stage_samples.shape == (300, 4)
+        assert result.stage_names == tuple(pipeline.stage_names)
+
+    def test_correlation_regimes(self):
+        """Intra-only -> independent stages, inter-only -> perfectly correlated."""
+        pipeline = inverter_chain_pipeline(3, 6)
+        intra = MonteCarloEngine(
+            VariationModel.intra_random_only(), n_samples=3000, seed=3
+        ).run_pipeline(pipeline)
+        inter = MonteCarloEngine(
+            VariationModel.inter_only(), n_samples=3000, seed=3
+        ).run_pipeline(pipeline)
+        assert abs(intra.correlation_matrix()[0, 1]) < 0.08
+        assert inter.correlation_matrix()[0, 1] > 0.999
+
+    def test_combined_variation_gives_partial_correlation(self, mc_engine_combined):
+        pipeline = inverter_chain_pipeline(3, 6)
+        result = mc_engine_combined.run_pipeline(pipeline)
+        rho = result.correlation_matrix()[0, 2]
+        assert 0.1 < rho < 0.99
+
+    def test_pipeline_delay_exceeds_stage_delays(self, mc_engine_combined):
+        pipeline = inverter_chain_pipeline(4, 5)
+        result = mc_engine_combined.run_pipeline(pipeline)
+        assert result.pipeline_result().mean >= result.stage_means().max()
+
+    def test_stage_yields_bracket_pipeline_yield(self, mc_engine_combined):
+        pipeline = inverter_chain_pipeline(4, 5)
+        result = mc_engine_combined.run_pipeline(pipeline)
+        target = float(np.quantile(result.pipeline_samples, 0.8))
+        pipeline_yield = result.yield_at(target)
+        stage_yields = result.stage_yields(target)
+        assert np.all(stage_yields >= pipeline_yield - 1e-12)
+
+    def test_stage_distributions_match_samples(self, mc_engine_combined):
+        pipeline = inverter_chain_pipeline(3, 5)
+        result = mc_engine_combined.run_pipeline(pipeline)
+        dists = result.stage_distributions()
+        assert len(dists) == 3
+        assert dists[0].mean == pytest.approx(result.stage_means()[0])

@@ -1,0 +1,174 @@
+"""Tests for repro.circuit.netlist."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.netlist import Netlist
+
+
+def build_diamond() -> Netlist:
+    """a -> (top, bottom) -> out: the smallest reconvergent structure."""
+    netlist = Netlist("diamond")
+    netlist.add_primary_input("a")
+    netlist.add_gate("top", "INV", ["a"])
+    netlist.add_gate("bottom", "INV", ["a"])
+    netlist.add_gate("out", "NAND2", ["top", "bottom"])
+    netlist.mark_primary_output("out")
+    return netlist
+
+
+class TestConstruction:
+    def test_counts(self):
+        netlist = build_diamond()
+        assert netlist.n_gates == 3
+        assert len(netlist) == 3
+        assert netlist.primary_inputs == ["a"]
+        assert netlist.primary_outputs == ["out"]
+
+    def test_duplicate_names_rejected(self):
+        netlist = build_diamond()
+        with pytest.raises(ValueError):
+            netlist.add_gate("top", "INV", ["a"])
+        with pytest.raises(ValueError):
+            netlist.add_primary_input("a")
+
+    def test_unknown_fanin_rejected(self):
+        netlist = Netlist("n")
+        netlist.add_primary_input("a")
+        with pytest.raises(KeyError):
+            netlist.add_gate("g", "INV", ["missing"])
+
+    def test_wrong_pin_count_rejected(self):
+        netlist = Netlist("n")
+        netlist.add_primary_input("a")
+        with pytest.raises(ValueError):
+            netlist.add_gate("g", "NAND2", ["a"])
+
+    def test_unknown_cell_rejected(self):
+        netlist = Netlist("n")
+        netlist.add_primary_input("a")
+        with pytest.raises(KeyError):
+            netlist.add_gate("g", "NAND77", ["a"])
+
+    def test_nonpositive_size_rejected(self):
+        netlist = Netlist("n")
+        netlist.add_primary_input("a")
+        with pytest.raises(ValueError):
+            netlist.add_gate("g", "INV", ["a"], size=0.0)
+
+    def test_mark_unknown_output_rejected(self):
+        netlist = build_diamond()
+        with pytest.raises(KeyError):
+            netlist.mark_primary_output("nope")
+
+
+class TestTopology:
+    def test_topological_order_respects_fanins(self):
+        netlist = build_diamond()
+        order = netlist.topological_order()
+        assert order.index("top") < order.index("out")
+        assert order.index("bottom") < order.index("out")
+
+    def test_fanout_indices_are_inverse_of_fanins(self):
+        netlist = build_diamond()
+        index = netlist.gate_index()
+        fanouts = netlist.fanout_indices()
+        assert index["out"] in fanouts[index["top"]]
+        assert index["out"] in fanouts[index["bottom"]]
+
+    def test_cycle_detection(self):
+        netlist = Netlist("cyclic")
+        netlist.add_primary_input("a")
+        netlist.add_gate("g1", "INV", ["a"])
+        netlist.add_gate("g2", "INV", ["g1"])
+        # Rewire g1 to close a cycle by editing the gate object directly.
+        netlist.gate("g1").fanins = ("g2",)
+        netlist._dirty = True
+        with pytest.raises(ValueError):
+            netlist.topological_order()
+
+    def test_logic_depth_of_diamond(self):
+        assert build_diamond().logic_depth() == 2
+
+    def test_levels(self):
+        netlist = build_diamond()
+        levels = netlist.levels()
+        index = netlist.gate_index()
+        assert levels[index["top"]] == 1
+        assert levels[index["out"]] == 2
+
+
+class TestSizesAndLoads:
+    def test_size_roundtrip(self):
+        netlist = build_diamond()
+        sizes = np.array([2.0, 3.0, 1.5])
+        netlist.set_sizes(sizes)
+        assert np.allclose(netlist.sizes(), sizes)
+
+    def test_set_sizes_validates(self):
+        netlist = build_diamond()
+        with pytest.raises(ValueError):
+            netlist.set_sizes(np.array([1.0, 2.0]))
+        with pytest.raises(ValueError):
+            netlist.set_sizes(np.array([1.0, -2.0, 1.0]))
+
+    def test_loads_include_fanout_input_caps(self):
+        netlist = build_diamond()
+        index = netlist.gate_index()
+        loads = netlist.load_capacitances()
+        nand_cin = netlist.library["NAND2"].input_capacitance(1.0, netlist.technology)
+        assert loads[index["top"]] == pytest.approx(nand_cin)
+
+    def test_output_gate_gets_default_load(self):
+        netlist = build_diamond()
+        index = netlist.gate_index()
+        loads = netlist.load_capacitances()
+        assert loads[index["out"]] == pytest.approx(netlist.default_output_load)
+
+    def test_upsizing_fanout_increases_driver_load(self):
+        netlist = build_diamond()
+        index = netlist.gate_index()
+        before = netlist.load_capacitances()[index["top"]]
+        sizes = netlist.sizes()
+        sizes[index["out"]] = 4.0
+        after = netlist.load_capacitances(sizes)[index["top"]]
+        assert after == pytest.approx(4.0 * before)
+
+    def test_total_area_scales_with_sizes(self):
+        netlist = build_diamond()
+        base = netlist.total_area()
+        doubled = netlist.total_area(2.0 * netlist.sizes())
+        assert doubled == pytest.approx(2.0 * base)
+
+
+class TestPlacementAndCopy:
+    def test_auto_place_within_region(self):
+        netlist = build_diamond()
+        netlist.auto_place((0.25, 0.0, 0.5, 1.0))
+        xs, ys = netlist.positions()
+        assert np.all((xs >= 0.25) & (xs <= 0.5))
+        assert np.all((ys >= 0.0) & (ys <= 1.0))
+
+    def test_auto_place_orders_levels_left_to_right(self):
+        netlist = build_diamond()
+        netlist.auto_place()
+        index = netlist.gate_index()
+        xs, _ = netlist.positions()
+        assert xs[index["top"]] < xs[index["out"]]
+
+    def test_auto_place_rejects_bad_region(self):
+        netlist = build_diamond()
+        with pytest.raises(ValueError):
+            netlist.auto_place((0.5, 0.0, 0.5, 1.0))
+
+    def test_copy_is_deep(self):
+        netlist = build_diamond()
+        clone = netlist.copy()
+        clone.gate("top").size = 8.0
+        assert netlist.gate("top").size == pytest.approx(1.0)
+        assert clone.primary_outputs == netlist.primary_outputs
+
+    def test_copy_preserves_area(self):
+        netlist = build_diamond()
+        netlist.set_sizes(np.array([2.0, 2.0, 2.0]))
+        assert netlist.copy().total_area() == pytest.approx(netlist.total_area())

@@ -1,0 +1,90 @@
+"""Tests for repro.timing.paths."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.generators import inverter_chain
+from repro.circuit.netlist import Netlist
+from repro.timing.paths import (
+    near_critical_gate_count,
+    near_critical_path_count,
+    path_report,
+)
+
+
+def build_parallel_paths(n_paths: int, depth: int) -> Netlist:
+    """``n_paths`` equal-length inverter chains feeding separate outputs."""
+    netlist = Netlist("parallel")
+    netlist.add_primary_input("a")
+    for path in range(n_paths):
+        previous = "a"
+        for level in range(depth):
+            name = f"p{path}_g{level}"
+            netlist.add_gate(name, "INV", [previous])
+            previous = name
+        netlist.mark_primary_output(previous)
+    return netlist
+
+
+class TestNearCriticalCounts:
+    def test_single_chain_has_one_path(self):
+        chain = inverter_chain(5)
+        delays = np.ones(5)
+        assert near_critical_path_count(chain, delays, margin=0.01) == 1
+
+    def test_parallel_equal_paths_all_counted(self):
+        netlist = build_parallel_paths(4, 3)
+        delays = np.ones(netlist.n_gates)
+        assert near_critical_path_count(netlist, delays, margin=1e-6) == 4
+
+    def test_margin_excludes_faster_paths(self):
+        netlist = build_parallel_paths(2, 3)
+        delays = np.ones(netlist.n_gates)
+        index = netlist.gate_index()
+        # Make path 1 faster by 0.5 per gate.
+        for level in range(3):
+            delays[index[f"p1_g{level}"]] = 0.5
+        assert near_critical_path_count(netlist, delays, margin=0.1) == 1
+        assert near_critical_path_count(netlist, delays, margin=10.0) == 2
+
+    def test_gate_count_grows_with_margin(self):
+        netlist = build_parallel_paths(3, 4)
+        delays = np.ones(netlist.n_gates)
+        index = netlist.gate_index()
+        for level in range(4):
+            delays[index[f"p2_g{level}"]] = 0.8
+        tight = near_critical_gate_count(netlist, delays, margin=0.01)
+        loose = near_critical_gate_count(netlist, delays, margin=5.0)
+        assert loose > tight
+
+    def test_batched_delays_rejected(self):
+        chain = inverter_chain(3)
+        with pytest.raises(ValueError):
+            near_critical_path_count(chain, np.ones((2, 3)), margin=0.1)
+
+
+class TestPathReport:
+    def test_report_fields(self):
+        netlist = build_parallel_paths(3, 3)
+        delays = np.ones(netlist.n_gates)
+        report = path_report(netlist, delays, margin_fraction=0.05)
+        assert report.delay == pytest.approx(3.0)
+        assert len(report.critical_path) == 3
+        assert report.n_paths_near_critical == 3
+        assert report.margin == pytest.approx(0.15)
+
+    def test_balanced_block_has_more_critical_paths_than_unbalanced(self):
+        """The structural fact behind the paper's section 3.2 argument."""
+        netlist = build_parallel_paths(4, 3)
+        balanced = np.ones(netlist.n_gates)
+        unbalanced = balanced.copy()
+        index = netlist.gate_index()
+        for path in range(1, 4):
+            for level in range(3):
+                unbalanced[index[f"p{path}_g{level}"]] = 0.7
+        balanced_report = path_report(netlist, balanced)
+        unbalanced_report = path_report(netlist, unbalanced)
+        assert (
+            unbalanced_report.n_paths_near_critical
+            < balanced_report.n_paths_near_critical
+        )

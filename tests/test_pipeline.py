@@ -1,0 +1,124 @@
+"""Tests for repro.pipeline (stage, pipeline, builder)."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.flipflop import FlipFlopTiming
+from repro.circuit.generators import inverter_chain
+from repro.pipeline.builder import (
+    alu_decoder_pipeline,
+    inverter_chain_pipeline,
+    iscas_pipeline,
+)
+from repro.pipeline.pipeline import Pipeline
+from repro.pipeline.stage import PipelineStage
+
+
+class TestPipelineStage:
+    def test_area_breakdown(self):
+        stage = PipelineStage("s", inverter_chain(5))
+        assert stage.total_area() == pytest.approx(
+            stage.logic_area() + stage.register_area()
+        )
+        assert stage.register_area() > 0.0
+
+    def test_flipflop_count_defaults_to_outputs(self):
+        stage = PipelineStage("s", inverter_chain(5))
+        assert stage.n_flipflops == 1
+
+    def test_place_updates_region_and_gates(self):
+        stage = PipelineStage("s", inverter_chain(5))
+        stage.place((0.5, 0.0, 0.75, 1.0))
+        xs, _ = stage.netlist.positions()
+        assert np.all((xs >= 0.5) & (xs <= 0.75))
+        x, y = stage.register_position
+        assert 0.5 <= x <= 0.75
+        assert 0.0 <= y <= 1.0
+
+    def test_structure_queries(self):
+        stage = PipelineStage("s", inverter_chain(7))
+        assert stage.n_gates == 7
+        assert stage.logic_depth == 7
+
+    def test_copy_is_deep(self):
+        stage = PipelineStage("s", inverter_chain(4))
+        clone = stage.copy()
+        clone.netlist.gate("inv0").size = 9.0
+        assert stage.netlist.gate("inv0").size == pytest.approx(1.0)
+
+
+class TestPipeline:
+    def test_requires_stages_and_unique_names(self):
+        with pytest.raises(ValueError):
+            Pipeline("p", [])
+        stage = PipelineStage("same", inverter_chain(3))
+        with pytest.raises(ValueError):
+            Pipeline("p", [stage, PipelineStage("same", inverter_chain(3))])
+
+    def test_placement_assigns_disjoint_slices(self):
+        pipeline = inverter_chain_pipeline(4, 5)
+        regions = [stage.region for stage in pipeline.stages]
+        for left, right in zip(regions, regions[1:]):
+            assert left[2] <= right[0] + 1e-9
+
+    def test_area_accounting(self):
+        pipeline = inverter_chain_pipeline(3, 5)
+        assert pipeline.total_area() == pytest.approx(pipeline.stage_areas().sum())
+        assert pipeline.area_fractions().sum() == pytest.approx(1.0)
+        assert pipeline.logic_area() < pipeline.total_area()
+
+    def test_stage_lookup(self):
+        pipeline = inverter_chain_pipeline(3, 5)
+        assert pipeline.stage("stage1").name == "stage1"
+        with pytest.raises(KeyError):
+            pipeline.stage("missing")
+
+    def test_iteration_and_len(self):
+        pipeline = inverter_chain_pipeline(3, 5)
+        assert len(pipeline) == 3
+        assert [stage.name for stage in pipeline] == pipeline.stage_names
+
+    def test_copy_is_deep(self):
+        pipeline = inverter_chain_pipeline(2, 4)
+        clone = pipeline.copy()
+        clone.stages[0].netlist.gate("inv0").size = 5.0
+        assert pipeline.stages[0].netlist.gate("inv0").size == pytest.approx(1.0)
+
+
+class TestBuilders:
+    def test_inverter_chain_pipeline_uniform(self):
+        pipeline = inverter_chain_pipeline(5, 8)
+        assert pipeline.n_stages == 5
+        assert all(stage.logic_depth == 8 for stage in pipeline.stages)
+        assert pipeline.name == "invchain_5x8"
+
+    def test_inverter_chain_pipeline_variable_depths(self):
+        pipeline = inverter_chain_pipeline(3, [4, 8, 6])
+        assert [stage.logic_depth for stage in pipeline.stages] == [4, 8, 6]
+        assert pipeline.name == "invchain_3xvar"
+
+    def test_inverter_chain_pipeline_validation(self):
+        with pytest.raises(ValueError):
+            inverter_chain_pipeline(0, 5)
+        with pytest.raises(ValueError):
+            inverter_chain_pipeline(3, [4, 8])
+
+    def test_shared_flipflop_model(self):
+        ff = FlipFlopTiming(clk_to_q_stages=1.0, setup_stages=1.0)
+        pipeline = inverter_chain_pipeline(3, 4, flipflop=ff)
+        assert all(stage.flipflop is ff for stage in pipeline.stages)
+
+    def test_alu_decoder_pipeline_structure(self):
+        pipeline = alu_decoder_pipeline(width=4, n_address=3)
+        assert pipeline.stage_names == ["alu_part1", "decoder", "alu_part2"]
+        assert all(stage.n_gates > 0 for stage in pipeline.stages)
+
+    def test_iscas_pipeline_default_matches_paper(self):
+        pipeline = iscas_pipeline(["c432"])
+        assert pipeline.stage_names == ["c432"]
+        default = iscas_pipeline()
+        assert default.stage_names == ["c3540", "c2670", "c1908", "c432"]
+
+    def test_iscas_pipeline_validation(self):
+        with pytest.raises(ValueError):
+            iscas_pipeline([])

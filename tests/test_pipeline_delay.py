@@ -1,0 +1,118 @@
+"""Tests for repro.core.pipeline_delay (paper section 2.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline_delay import PipelineDelayModel
+from repro.core.stage_delay import StageDelayDistribution
+
+
+def make_stages(means, stds):
+    return [
+        StageDelayDistribution(m, s, name=f"s{i}")
+        for i, (m, s) in enumerate(zip(means, stds))
+    ]
+
+
+class TestConstruction:
+    def test_requires_stages(self):
+        with pytest.raises(ValueError):
+            PipelineDelayModel([])
+
+    def test_correlation_shape_checked(self):
+        stages = make_stages([1.0, 2.0], [0.1, 0.1])
+        with pytest.raises(ValueError):
+            PipelineDelayModel(stages, np.eye(3))
+
+    def test_uniform_correlation_constructor(self):
+        stages = make_stages([1.0, 2.0, 3.0], [0.1, 0.1, 0.1])
+        model = PipelineDelayModel.with_uniform_correlation(stages, 0.5)
+        assert np.allclose(np.diag(model.correlations), 1.0)
+        assert model.correlations[0, 1] == pytest.approx(0.5)
+
+    def test_uniform_correlation_validation(self):
+        stages = make_stages([1.0], [0.1])
+        with pytest.raises(ValueError):
+            PipelineDelayModel.with_uniform_correlation(stages, 1.5)
+
+
+class TestEstimation:
+    def test_single_stage_passthrough(self):
+        model = PipelineDelayModel(make_stages([200e-12], [10e-12]))
+        estimate = model.estimate()
+        assert estimate.mean == pytest.approx(200e-12)
+        assert estimate.std == pytest.approx(10e-12)
+
+    def test_jensen_lower_bound(self):
+        model = PipelineDelayModel(make_stages([1.0, 2.0, 1.5], [0.2, 0.2, 0.2]))
+        estimate = model.estimate()
+        assert estimate.jensen_lower_bound == pytest.approx(2.0)
+        assert estimate.mean >= 2.0
+
+    def test_identical_correlated_stages_collapse(self):
+        stages = make_stages([1.0] * 4, [0.2] * 4)
+        model = PipelineDelayModel.with_uniform_correlation(stages, 1.0)
+        estimate = model.estimate()
+        assert estimate.mean == pytest.approx(1.0)
+        assert estimate.std == pytest.approx(0.2)
+
+    def test_independent_stages_against_samples(self, rng):
+        means = np.array([190e-12, 195e-12, 200e-12, 188e-12, 192e-12])
+        stds = np.array([4e-12, 5e-12, 4.5e-12, 6e-12, 5e-12])
+        model = PipelineDelayModel(make_stages(means, stds))
+        estimate = model.estimate()
+        samples = model.sample(300000, rng)
+        assert estimate.mean == pytest.approx(samples.mean(), rel=0.005)
+        assert estimate.std == pytest.approx(samples.std(ddof=1), rel=0.08)
+
+    def test_correlated_stages_against_samples(self, rng):
+        means = np.full(6, 200e-12)
+        stds = np.full(6, 10e-12)
+        model = PipelineDelayModel.with_uniform_correlation(
+            make_stages(means, stds), 0.6
+        )
+        estimate = model.estimate()
+        samples = model.sample(300000, rng)
+        assert estimate.mean == pytest.approx(samples.mean(), rel=0.005)
+        assert estimate.std == pytest.approx(samples.std(ddof=1), rel=0.06)
+
+    def test_more_stages_increase_mean_and_reduce_variability(self):
+        stage = StageDelayDistribution(200e-12, 10e-12)
+        short = PipelineDelayModel([stage] * 2).estimate()
+        long = PipelineDelayModel([stage] * 12).estimate()
+        assert long.mean > short.mean
+        assert long.variability < short.variability
+
+    def test_correlation_reduces_pipeline_mean(self):
+        stages = make_stages([200e-12] * 5, [10e-12] * 5)
+        independent = PipelineDelayModel(stages).estimate()
+        correlated = PipelineDelayModel.with_uniform_correlation(stages, 0.9).estimate()
+        assert correlated.mean < independent.mean
+
+
+class TestEstimateQueries:
+    def test_yield_at_and_delay_at_yield_are_inverse(self):
+        model = PipelineDelayModel(make_stages([200e-12] * 3, [8e-12] * 3))
+        estimate = model.estimate()
+        delay = estimate.delay_at_yield(0.85)
+        assert estimate.yield_at(delay) == pytest.approx(0.85, abs=1e-9)
+
+    def test_yield_extremes(self):
+        model = PipelineDelayModel(make_stages([200e-12] * 3, [8e-12] * 3))
+        estimate = model.estimate()
+        assert estimate.yield_at(1.0) == pytest.approx(1.0)
+        assert estimate.yield_at(1e-13) == pytest.approx(0.0, abs=1e-12)
+
+    def test_pdf_positive_near_mean(self):
+        estimate = PipelineDelayModel(make_stages([200e-12] * 3, [8e-12] * 3)).estimate()
+        assert estimate.pdf(estimate.mean) > 0.0
+
+    def test_sample_validation(self, rng):
+        model = PipelineDelayModel(make_stages([1.0], [0.1]))
+        with pytest.raises(ValueError):
+            model.sample(0, rng)
+
+    def test_delay_at_yield_validation(self):
+        estimate = PipelineDelayModel(make_stages([1.0], [0.1])).estimate()
+        with pytest.raises(ValueError):
+            estimate.delay_at_yield(1.2)

@@ -1,0 +1,99 @@
+"""Tests for repro.process.sampling."""
+
+import numpy as np
+import pytest
+
+from repro.process.sampling import ParameterSampler
+from repro.process.technology import default_technology
+from repro.process.variation import VariationModel
+
+
+@pytest.fixture
+def sampler_inputs():
+    n_devices = 20
+    sizes = np.ones(n_devices)
+    x = np.linspace(0.05, 0.95, n_devices)
+    y = np.full(n_devices, 0.5)
+    return sizes, x, y
+
+
+class TestSampling:
+    def test_shapes(self, technology, rng, sampler_inputs):
+        sizes, x, y = sampler_inputs
+        sampler = ParameterSampler(technology, VariationModel.combined())
+        samples = sampler.sample(sizes, x, y, 200, rng)
+        assert samples.vth.shape == (200, 20)
+        assert samples.length.shape == (200, 20)
+        assert samples.inter_die_vth_shift.shape == (200,)
+        assert samples.n_samples == 200
+        assert samples.n_devices == 20
+
+    def test_mean_vth_near_nominal(self, technology, rng, sampler_inputs):
+        sizes, x, y = sampler_inputs
+        sampler = ParameterSampler(technology, VariationModel.combined())
+        samples = sampler.sample(sizes, x, y, 4000, rng)
+        assert samples.vth.mean() == pytest.approx(technology.vth0, abs=0.003)
+
+    def test_inter_only_gives_identical_devices(self, technology, rng, sampler_inputs):
+        sizes, x, y = sampler_inputs
+        sampler = ParameterSampler(technology, VariationModel.inter_only(0.03))
+        samples = sampler.sample(sizes, x, y, 100, rng)
+        # Every device on a die sees the same Vth in the inter-only model.
+        spread_within_die = samples.vth.std(axis=1)
+        assert np.all(spread_within_die < 1e-12)
+
+    def test_intra_random_only_gives_independent_devices(
+        self, technology, rng, sampler_inputs
+    ):
+        sizes, x, y = sampler_inputs
+        sampler = ParameterSampler(technology, VariationModel.intra_random_only(0.03))
+        samples = sampler.sample(sizes, x, y, 20000, rng)
+        corr = np.corrcoef(samples.vth[:, 0], samples.vth[:, 1])[0, 1]
+        assert abs(corr) < 0.03
+
+    def test_random_sigma_scales_with_size(self, technology, rng):
+        variation = VariationModel.intra_random_only(0.04)
+        sampler = ParameterSampler(technology, variation)
+        sizes = np.array([1.0, 4.0])
+        x = np.array([0.3, 0.7])
+        y = np.array([0.5, 0.5])
+        samples = sampler.sample(sizes, x, y, 30000, rng)
+        sigma_small = samples.vth[:, 0].std()
+        sigma_large = samples.vth[:, 1].std()
+        assert sigma_small / sigma_large == pytest.approx(2.0, rel=0.1)
+
+    def test_systematic_component_is_spatially_correlated(self, technology, rng):
+        variation = VariationModel(
+            sigma_vth_inter=0.0,
+            sigma_vth_random=0.0,
+            sigma_vth_systematic=0.03,
+            sigma_l_inter=0.0,
+            sigma_l_systematic=0.0,
+            correlation_length=0.4,
+        )
+        sampler = ParameterSampler(technology, variation)
+        sizes = np.ones(3)
+        x = np.array([0.05, 0.1, 0.95])
+        y = np.array([0.05, 0.05, 0.95])
+        samples = sampler.sample(sizes, x, y, 20000, rng)
+        corr = np.corrcoef(samples.vth.T)
+        assert corr[0, 1] > corr[0, 2]
+
+    def test_vth_stays_physical(self, technology, rng, sampler_inputs):
+        sizes, x, y = sampler_inputs
+        variation = VariationModel(sigma_vth_inter=0.2, sigma_vth_random=0.2)
+        sampler = ParameterSampler(technology, variation)
+        samples = sampler.sample(sizes, x, y, 2000, rng)
+        assert np.all(samples.vth < technology.vdd)
+        assert np.all(samples.vth >= 0.0)
+        assert np.all(samples.length > 0.0)
+
+    def test_rejects_bad_inputs(self, technology, rng, sampler_inputs):
+        sizes, x, y = sampler_inputs
+        sampler = ParameterSampler(technology, VariationModel.combined())
+        with pytest.raises(ValueError):
+            sampler.sample(-sizes, x, y, 10, rng)
+        with pytest.raises(ValueError):
+            sampler.sample(sizes, x[:-1], y, 10, rng)
+        with pytest.raises(ValueError):
+            sampler.sample(sizes, x, y, 0, rng)

@@ -1,0 +1,89 @@
+"""Tests for repro.core.stage_delay."""
+
+import numpy as np
+import pytest
+
+from repro.core.stage_delay import StageDelayDistribution
+
+
+class TestConstruction:
+    def test_from_samples(self, rng):
+        samples = rng.normal(200e-12, 10e-12, size=20000)
+        dist = StageDelayDistribution.from_samples(samples, name="s0")
+        assert dist.mean == pytest.approx(200e-12, rel=0.01)
+        assert dist.std == pytest.approx(10e-12, rel=0.05)
+        assert dist.name == "s0"
+
+    def test_from_samples_requires_enough_data(self):
+        with pytest.raises(ValueError):
+            StageDelayDistribution.from_samples(np.array([1.0]))
+
+    def test_from_canonical(self):
+        class FakeForm:
+            mean = 150e-12
+            sigma = 7e-12
+
+        dist = StageDelayDistribution.from_canonical(FakeForm(), name="x")
+        assert dist.mean == pytest.approx(150e-12)
+        assert dist.std == pytest.approx(7e-12)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StageDelayDistribution(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            StageDelayDistribution(1.0, -1.0)
+
+
+class TestQueries:
+    def test_variability(self):
+        dist = StageDelayDistribution(200e-12, 10e-12)
+        assert dist.variability == pytest.approx(0.05)
+        assert StageDelayDistribution(0.0, 0.0).variability == 0.0
+
+    def test_yield_at_mean_is_half(self):
+        dist = StageDelayDistribution(200e-12, 10e-12)
+        assert dist.yield_at(200e-12) == pytest.approx(0.5)
+
+    def test_yield_monotonic_in_target(self):
+        dist = StageDelayDistribution(200e-12, 10e-12)
+        targets = np.linspace(150e-12, 250e-12, 11)
+        yields = [dist.yield_at(t) for t in targets]
+        assert yields == sorted(yields)
+
+    def test_deterministic_stage_yield_is_step(self):
+        dist = StageDelayDistribution(200e-12, 0.0)
+        assert dist.yield_at(199e-12) == 0.0
+        assert dist.yield_at(201e-12) == 1.0
+
+    def test_delay_at_yield_inverts_yield_at(self):
+        dist = StageDelayDistribution(200e-12, 10e-12)
+        delay = dist.delay_at_yield(0.9)
+        assert dist.yield_at(delay) == pytest.approx(0.9)
+
+    def test_delay_at_yield_validation(self):
+        dist = StageDelayDistribution(200e-12, 10e-12)
+        with pytest.raises(ValueError):
+            dist.delay_at_yield(0.0)
+        with pytest.raises(ValueError):
+            dist.delay_at_yield(1.0)
+
+    def test_pdf_integrates_to_one(self):
+        dist = StageDelayDistribution(200e-12, 10e-12)
+        grid = np.linspace(100e-12, 300e-12, 4001)
+        total = np.trapezoid(dist.pdf(grid), grid)
+        assert total == pytest.approx(1.0, rel=1e-6)
+
+    def test_pdf_requires_positive_sigma(self):
+        with pytest.raises(ValueError):
+            StageDelayDistribution(1.0, 0.0).pdf(1.0)
+
+    def test_scaled_preserves_variability_by_default(self):
+        dist = StageDelayDistribution(200e-12, 10e-12)
+        scaled = dist.scaled(0.8)
+        assert scaled.variability == pytest.approx(dist.variability)
+
+    def test_scaled_with_explicit_std_factor(self):
+        dist = StageDelayDistribution(200e-12, 10e-12)
+        scaled = dist.scaled(1.0, std_factor=2.0)
+        assert scaled.mean == pytest.approx(dist.mean)
+        assert scaled.std == pytest.approx(2.0 * dist.std)

@@ -1,0 +1,96 @@
+"""Tests for repro.process.technology."""
+
+import pytest
+
+from repro.process.technology import Technology, default_technology
+
+
+class TestTechnologyConstruction:
+    def test_default_is_valid(self):
+        tech = default_technology()
+        assert tech.vdd > tech.vth0 > 0.0
+        assert tech.alpha > 0.0
+
+    def test_gate_overdrive(self):
+        tech = Technology(vdd=1.0, vth0=0.3)
+        assert tech.gate_overdrive == pytest.approx(0.7)
+
+    def test_tau_is_rc_product(self):
+        tech = default_technology()
+        assert tech.tau == pytest.approx(tech.r_unit * tech.c_unit)
+        assert tech.tau_ps == pytest.approx(tech.tau * 1e12)
+
+    def test_rejects_nonpositive_vdd(self):
+        with pytest.raises(ValueError):
+            Technology(vdd=0.0)
+
+    def test_rejects_vth_above_vdd(self):
+        with pytest.raises(ValueError):
+            Technology(vdd=1.0, vth0=1.1)
+
+    def test_rejects_negative_alpha(self):
+        with pytest.raises(ValueError):
+            Technology(alpha=-1.0)
+
+    def test_rejects_nonpositive_geometry(self):
+        with pytest.raises(ValueError):
+            Technology(lmin=0.0)
+        with pytest.raises(ValueError):
+            Technology(wmin=-1.0)
+
+    def test_rejects_nonpositive_electrical_constants(self):
+        with pytest.raises(ValueError):
+            Technology(r_unit=0.0)
+        with pytest.raises(ValueError):
+            Technology(c_unit=-1e-15)
+
+
+class TestDriveFactor:
+    def test_nominal_is_unity(self):
+        tech = default_technology()
+        assert tech.drive_factor(tech.vth0) == pytest.approx(1.0)
+
+    def test_higher_vth_is_slower(self):
+        tech = default_technology()
+        assert tech.drive_factor(tech.vth0 + 0.05) > 1.0
+
+    def test_lower_vth_is_faster(self):
+        tech = default_technology()
+        assert tech.drive_factor(tech.vth0 - 0.05) < 1.0
+
+    def test_longer_channel_is_slower(self):
+        tech = default_technology()
+        factor = tech.drive_factor(tech.vth0, length=1.2 * tech.lmin)
+        assert factor == pytest.approx(1.2)
+
+    def test_monotonic_in_vth(self):
+        tech = default_technology()
+        factors = [tech.drive_factor(v) for v in (0.15, 0.20, 0.25, 0.30)]
+        assert factors == sorted(factors)
+
+    def test_rejects_vth_at_supply(self):
+        tech = default_technology()
+        with pytest.raises(ValueError):
+            tech.drive_factor(tech.vdd)
+
+    def test_rejects_nonpositive_length(self):
+        tech = default_technology()
+        with pytest.raises(ValueError):
+            tech.drive_factor(tech.vth0, length=0.0)
+
+
+class TestScaled:
+    def test_scaled_overrides_field(self):
+        tech = default_technology()
+        faster = tech.scaled(r_unit=tech.r_unit / 2)
+        assert faster.r_unit == pytest.approx(tech.r_unit / 2)
+        assert faster.c_unit == tech.c_unit
+
+    def test_scaled_rejects_unknown_field(self):
+        tech = default_technology()
+        with pytest.raises(TypeError):
+            tech.scaled(not_a_field=1.0)
+
+    def test_scaled_returns_new_instance(self):
+        tech = default_technology()
+        assert tech.scaled(vdd=1.1) is not tech

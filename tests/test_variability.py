@@ -1,0 +1,132 @@
+"""Tests for repro.core.variability (paper section 3.1, Fig. 5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.stage_delay import StageDelayDistribution
+from repro.core.variability import (
+    GateVariability,
+    normalized_series,
+    pipeline_variability_fixed_total_depth,
+    pipeline_variability_vs_stages,
+    stage_variability_vs_logic_depth,
+)
+
+
+class TestGateVariability:
+    def test_stage_distribution_moments(self):
+        gate = GateVariability(mu=10e-12, sigma_random=1e-12, sigma_die=0.5e-12)
+        stage = gate.stage_distribution(4)
+        assert stage.mean == pytest.approx(40e-12)
+        expected_var = 4 * (1e-12) ** 2 + 16 * (0.5e-12) ** 2
+        assert stage.std == pytest.approx(expected_var**0.5)
+
+    def test_stage_correlation_bounds(self):
+        gate = GateVariability(mu=10e-12, sigma_random=1e-12, sigma_die=0.5e-12)
+        rho = gate.stage_correlation(8)
+        assert 0.0 < rho < 1.0
+
+    def test_no_die_component_means_independent_stages(self):
+        gate = GateVariability(mu=10e-12, sigma_random=1e-12)
+        assert gate.stage_correlation(8) == pytest.approx(0.0)
+
+    def test_only_die_component_means_perfect_correlation(self):
+        gate = GateVariability(mu=10e-12, sigma_die=1e-12)
+        assert gate.stage_correlation(8) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GateVariability(mu=0.0)
+        with pytest.raises(ValueError):
+            GateVariability(mu=1.0, sigma_random=-1.0)
+        with pytest.raises(ValueError):
+            GateVariability(mu=1.0).stage_distribution(0)
+
+
+class TestFig5aLogicDepth:
+    def test_random_only_variability_falls_with_depth(self):
+        """Fig. 5(a): under random intra-die variation, deeper stages average out."""
+        gate = GateVariability(mu=10e-12, sigma_random=1.5e-12)
+        depths = [5, 10, 20, 40]
+        series = stage_variability_vs_logic_depth(gate, depths)
+        assert np.all(np.diff(series) < 0.0)
+        # The cancellation is 1/sqrt(N): doubling depth cuts sigma/mu by sqrt(2).
+        assert series[0] / series[1] == pytest.approx(np.sqrt(2.0), rel=1e-6)
+
+    def test_correlated_variation_flattens_the_trend(self):
+        """Fig. 5(a): with inter-die variation the depth dependence weakens."""
+        random_only = GateVariability(mu=10e-12, sigma_random=1.5e-12)
+        with_inter = GateVariability(mu=10e-12, sigma_random=1.5e-12, sigma_die=1.0e-12)
+        depths = [5, 40]
+        drop_random = stage_variability_vs_logic_depth(random_only, depths)
+        drop_inter = stage_variability_vs_logic_depth(with_inter, depths)
+        relative_drop_random = drop_random[1] / drop_random[0]
+        relative_drop_inter = drop_inter[1] / drop_inter[0]
+        assert relative_drop_inter > relative_drop_random
+
+    def test_inter_only_variability_independent_of_depth(self):
+        gate = GateVariability(mu=10e-12, sigma_die=1.0e-12)
+        series = stage_variability_vs_logic_depth(gate, [5, 10, 20])
+        assert np.allclose(series, series[0])
+
+
+class TestFig5bStageCount:
+    def test_variability_falls_with_stage_count(self):
+        stage = StageDelayDistribution(200e-12, 10e-12)
+        counts = [4, 8, 16, 32]
+        series = pipeline_variability_vs_stages(stage, counts, correlation=0.0)
+        assert np.all(np.diff(series) < 0.0)
+
+    def test_correlation_weakens_the_stage_count_effect(self):
+        """Fig. 5(b): higher correlation, flatter curve."""
+        stage = StageDelayDistribution(200e-12, 10e-12)
+        counts = [4, 32]
+        independent = pipeline_variability_vs_stages(stage, counts, correlation=0.0)
+        correlated = pipeline_variability_vs_stages(stage, counts, correlation=0.5)
+        assert correlated[1] / correlated[0] > independent[1] / independent[0]
+
+    def test_validation(self):
+        stage = StageDelayDistribution(200e-12, 10e-12)
+        with pytest.raises(ValueError):
+            pipeline_variability_vs_stages(stage, [4], correlation=1.5)
+        with pytest.raises(ValueError):
+            pipeline_variability_vs_stages(stage, [0], correlation=0.0)
+
+
+class TestFig5cFixedTotalDepth:
+    def test_intra_only_variability_rises_with_stage_count(self):
+        """Fig. 5(c): with only intra-die variation, more (shallower) stages hurt."""
+        gate = GateVariability(mu=10e-12, sigma_random=1.5e-12)
+        counts = [4, 8, 12, 24]
+        series = pipeline_variability_fixed_total_depth(gate, 120, counts)
+        assert series[-1] > series[0]
+
+    def test_inter_dominated_variability_falls_with_stage_count(self):
+        """Fig. 5(c): with dominant inter-die variation the trend reverses."""
+        gate = GateVariability(mu=10e-12, sigma_random=0.5e-12, sigma_die=2.0e-12)
+        counts = [4, 8, 12, 24]
+        series = pipeline_variability_fixed_total_depth(gate, 120, counts)
+        assert series[-1] < series[0]
+
+    def test_stage_count_must_divide_total_depth(self):
+        gate = GateVariability(mu=10e-12, sigma_random=1e-12)
+        with pytest.raises(ValueError):
+            pipeline_variability_fixed_total_depth(gate, 120, [7])
+
+    def test_validation(self):
+        gate = GateVariability(mu=10e-12, sigma_random=1e-12)
+        with pytest.raises(ValueError):
+            pipeline_variability_fixed_total_depth(gate, 0, [1])
+
+
+class TestNormalizedSeries:
+    def test_normalises_to_first_element(self):
+        series = normalized_series(np.array([2.0, 1.0, 0.5]))
+        assert series[0] == pytest.approx(1.0)
+        assert series[-1] == pytest.approx(0.25)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            normalized_series(np.array([]))
+        with pytest.raises(ValueError):
+            normalized_series(np.array([0.0, 1.0]))

@@ -1,0 +1,78 @@
+"""Tests for repro.process.variation."""
+
+import pytest
+
+from repro.process.variation import VariationComponents, VariationModel
+
+
+class TestVariationModel:
+    def test_default_has_all_components(self):
+        var = VariationModel()
+        assert var.has_inter_die
+        assert var.has_intra_random
+        assert var.has_intra_systematic
+
+    def test_intra_random_only_profile(self):
+        var = VariationModel.intra_random_only()
+        assert not var.has_inter_die
+        assert var.has_intra_random
+        assert not var.has_intra_systematic
+
+    def test_inter_only_profile(self):
+        var = VariationModel.inter_only(0.04)
+        assert var.has_inter_die
+        assert not var.has_intra_random
+        assert not var.has_intra_systematic
+        assert var.sigma_vth_inter == pytest.approx(0.04)
+
+    def test_combined_profile(self):
+        var = VariationModel.combined(sigma_vth_inter=0.02)
+        assert var.has_inter_die and var.has_intra_random and var.has_intra_systematic
+
+    def test_rejects_negative_sigma(self):
+        with pytest.raises(ValueError):
+            VariationModel(sigma_vth_inter=-0.01)
+
+    def test_rejects_nonpositive_correlation_length(self):
+        with pytest.raises(ValueError):
+            VariationModel(correlation_length=0.0)
+
+    def test_with_inter_sigma_changes_only_inter(self):
+        var = VariationModel.combined()
+        changed = var.with_inter_sigma(0.04)
+        assert changed.sigma_vth_inter == pytest.approx(0.04)
+        assert changed.sigma_vth_random == pytest.approx(var.sigma_vth_random)
+
+    def test_with_inter_sigma_zero_drops_length_inter(self):
+        var = VariationModel.combined()
+        changed = var.with_inter_sigma(0.0)
+        assert not changed.has_inter_die
+
+
+class TestSizeScaling:
+    def test_random_component_shrinks_with_size(self):
+        var = VariationModel(sigma_vth_random=0.03)
+        small = var.vth_components_for_size(1.0)
+        large = var.vth_components_for_size(4.0)
+        assert large.intra_random == pytest.approx(small.intra_random / 2.0)
+
+    def test_inter_component_independent_of_size(self):
+        var = VariationModel()
+        assert var.vth_components_for_size(1.0).inter_die == pytest.approx(
+            var.vth_components_for_size(9.0).inter_die
+        )
+
+    def test_total_is_quadrature_sum(self):
+        components = VariationComponents(0.03, 0.04, 0.0)
+        assert components.total == pytest.approx(0.05)
+
+    def test_total_vth_sigma_matches_components(self):
+        var = VariationModel()
+        assert var.total_vth_sigma(2.0) == pytest.approx(
+            var.vth_components_for_size(2.0).total
+        )
+
+    def test_rejects_nonpositive_size(self):
+        var = VariationModel()
+        with pytest.raises(ValueError):
+            var.vth_components_for_size(0.0)

@@ -1,0 +1,146 @@
+"""Tests for repro.core.yield_model (paper section 2.3)."""
+
+import numpy as np
+import pytest
+from scipy.stats import norm
+
+from repro.core.stage_delay import StageDelayDistribution
+from repro.core.yield_model import (
+    stage_yield_budget,
+    target_delay_for_yield,
+    yield_correlated,
+    yield_from_samples,
+    yield_independent,
+)
+
+
+def make_stages(means, stds):
+    return [StageDelayDistribution(m, s) for m, s in zip(means, stds)]
+
+
+class TestIndependentYield:
+    def test_single_stage_matches_gaussian_cdf(self):
+        stages = make_stages([200e-12], [10e-12])
+        expected = float(norm.cdf(1.0))
+        assert yield_independent(stages, 210e-12) == pytest.approx(expected)
+
+    def test_product_form(self):
+        stages = make_stages([200e-12, 190e-12], [10e-12, 5e-12])
+        target = 205e-12
+        expected = float(
+            norm.cdf((205e-12 - 200e-12) / 10e-12)
+            * norm.cdf((205e-12 - 190e-12) / 5e-12)
+        )
+        assert yield_independent(stages, target) == pytest.approx(expected)
+
+    def test_equal_stages_paper_eq12_consistency(self):
+        """N identical stages: pipeline yield is the stage yield to the Nth power."""
+        stage = StageDelayDistribution(200e-12, 10e-12)
+        target = 212e-12
+        single = yield_independent([stage], target)
+        assert yield_independent([stage] * 4, target) == pytest.approx(single**4)
+
+    def test_deterministic_stage_handling(self):
+        stages = [StageDelayDistribution(200e-12, 0.0), StageDelayDistribution(150e-12, 5e-12)]
+        assert yield_independent(stages, 190e-12) == 0.0
+        assert yield_independent(stages, 210e-12) == pytest.approx(
+            yield_independent([stages[1]], 210e-12)
+        )
+
+    def test_impossible_target_is_zero(self):
+        stages = make_stages([200e-12], [1e-12])
+        assert yield_independent(stages, 100e-12) == pytest.approx(0.0, abs=1e-12)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            yield_independent([], 1.0)
+        with pytest.raises(ValueError):
+            yield_independent(make_stages([1.0], [0.1]), -1.0)
+
+    def test_against_monte_carlo(self, rng):
+        means = np.array([200e-12, 195e-12, 205e-12])
+        stds = np.array([8e-12, 6e-12, 7e-12])
+        stages = make_stages(means, stds)
+        target = 212e-12
+        samples = rng.normal(means, stds, size=(200000, 3)).max(axis=1)
+        assert yield_independent(stages, target) == pytest.approx(
+            (samples <= target).mean(), abs=0.01
+        )
+
+
+class TestCorrelatedYield:
+    def test_reduces_to_independent_when_uncorrelated(self):
+        stages = make_stages([200e-12, 195e-12, 205e-12], [8e-12, 6e-12, 7e-12])
+        target = 214e-12
+        independent = yield_independent(stages, target)
+        correlated = yield_correlated(stages, target, np.eye(3))
+        assert correlated == pytest.approx(independent, abs=0.02)
+
+    def test_perfect_correlation_equals_worst_stage(self):
+        stages = make_stages([200e-12, 180e-12], [10e-12, 10e-12])
+        corr = np.ones((2, 2))
+        target = 205e-12
+        worst = stages[0].yield_at(target)
+        assert yield_correlated(stages, target, corr) == pytest.approx(worst, abs=1e-6)
+
+    def test_correlation_improves_yield(self):
+        """At a tight target, correlated stages fail together, improving yield."""
+        stages = make_stages([200e-12] * 5, [10e-12] * 5)
+        corr = np.full((5, 5), 0.9)
+        np.fill_diagonal(corr, 1.0)
+        target = 208e-12
+        assert yield_correlated(stages, target, corr) > yield_independent(stages, target)
+
+    def test_against_monte_carlo(self, rng):
+        means = np.full(4, 200e-12)
+        stds = np.full(4, 10e-12)
+        rho = 0.5
+        corr = np.full((4, 4), rho)
+        np.fill_diagonal(corr, 1.0)
+        cov = corr * np.outer(stds, stds)
+        samples = rng.multivariate_normal(means, cov, size=200000).max(axis=1)
+        target = 215e-12
+        stages = make_stages(means, stds)
+        assert yield_correlated(stages, target, corr) == pytest.approx(
+            (samples <= target).mean(), abs=0.015
+        )
+
+
+class TestSampleYieldAndInversion:
+    def test_yield_from_samples(self):
+        samples = np.array([1.0, 2.0, 3.0, 4.0])
+        assert yield_from_samples(samples, 2.5) == pytest.approx(0.5)
+        assert yield_from_samples(samples, 0.5) == 0.0
+        assert yield_from_samples(samples, 5.0) == 1.0
+
+    def test_yield_from_samples_validation(self):
+        with pytest.raises(ValueError):
+            yield_from_samples(np.array([]), 1.0)
+
+    def test_target_delay_for_yield_inverts(self):
+        stages = make_stages([200e-12] * 3, [10e-12] * 3)
+        target = target_delay_for_yield(stages, 0.9)
+        assert yield_correlated(stages, target) == pytest.approx(0.9, abs=1e-6)
+
+    def test_target_delay_validation(self):
+        with pytest.raises(ValueError):
+            target_delay_for_yield(make_stages([1.0], [0.1]), 1.5)
+
+
+class TestStageYieldBudget:
+    def test_fig7_allocation(self):
+        """The paper's 0.80 over 3 stages -> 0.9283 per stage."""
+        assert stage_yield_budget(0.80, 3) == pytest.approx(0.9283, abs=2e-4)
+
+    def test_single_stage_budget_is_pipeline_yield(self):
+        assert stage_yield_budget(0.9, 1) == pytest.approx(0.9)
+
+    def test_budget_to_pipeline_roundtrip(self):
+        budget = stage_yield_budget(0.85, 5)
+        assert budget**5 == pytest.approx(0.85)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            stage_yield_budget(0.0, 3)
+        with pytest.raises(ValueError):
+            stage_yield_budget(0.9, 0)
