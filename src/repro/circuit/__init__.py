@@ -23,6 +23,7 @@ the gate-level stand-in:
 
 from repro.circuit.cell_library import Cell, CellLibrary, standard_cell_library
 from repro.circuit.netlist import Gate, Netlist
+from repro.circuit.schedule import TimingSchedule, compile_schedule
 from repro.circuit.flipflop import FlipFlopTiming
 from repro.circuit.generators import (
     alu_block,
@@ -38,6 +39,8 @@ __all__ = [
     "standard_cell_library",
     "Gate",
     "Netlist",
+    "TimingSchedule",
+    "compile_schedule",
     "FlipFlopTiming",
     "inverter_chain",
     "random_logic_block",

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.circuit.cell_library import CellLibrary, standard_cell_library
+from repro.circuit.schedule import TimingSchedule, compile_schedule
 from repro.process.technology import Technology, default_technology
 
 
@@ -99,6 +100,10 @@ class Netlist:
         self._fanin_indices: list[list[int]] = []
         self._fanout_indices: list[list[int]] = []
         self._is_po: np.ndarray = np.zeros(0, dtype=bool)
+        # Compiled timing schedule (levelized CSR), built lazily per
+        # structural version; see timing_schedule().
+        self._structure_version = 0
+        self._schedule: TimingSchedule | None = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -245,6 +250,8 @@ class Netlist:
         self._fanin_indices = fanin_indices
         self._fanout_indices = fanout_indices
         self._is_po = is_po
+        self._structure_version += 1
+        self._schedule = None
         self._dirty = False
 
     def _ensure_current(self) -> None:
@@ -275,6 +282,20 @@ class Netlist:
         """Boolean mask (topological indexing) of primary-output gates."""
         self._ensure_current()
         return self._is_po.copy()
+
+    def timing_schedule(self) -> TimingSchedule:
+        """Compiled levelized CSR schedule for the current structure.
+
+        The schedule is cached per structural version: adding gates or
+        marking outputs invalidates it (through ``_ensure_current``), while
+        size mutations -- the sizers' inner loop -- reuse it unchanged.
+        """
+        self._ensure_current()
+        if self._schedule is None:
+            self._schedule = compile_schedule(
+                self._fanin_indices, self._fanout_indices, self._structure_version
+            )
+        return self._schedule
 
     # ------------------------------------------------------------------
     # Vectorised attribute access (topological indexing)
@@ -338,17 +359,21 @@ class Netlist:
             sizes = np.asarray(sizes, dtype=float)
         coeffs = self.cell_coefficients()
         pin_caps = coeffs["logical_effort"] * self.technology.c_unit * sizes
-        loads = np.zeros(len(self._order))
-        for gate_pos, fanouts in enumerate(self._fanout_indices):
-            if fanouts:
-                loads[gate_pos] = pin_caps[fanouts].sum()
+        schedule = self.timing_schedule()
+        # Every fanin arc (source -> owner) contributes the owner's pin
+        # capacitance to the source's load; one bincount sums them all.
+        # (bincount returns int64 for an empty weighted input, so force the
+        # dtype for edge-free netlists.)
+        loads = np.bincount(
+            schedule.fanin_idx,
+            weights=pin_caps[schedule.edge_owner],
+            minlength=schedule.n_gates,
+        ).astype(float)
         loads[self._is_po] += self.default_output_load
         # Gates with no fanout and not marked as outputs still drive something
         # downstream in a real design; give them the default load so their
         # delay is finite and size-sensitive.
-        dangling = np.array(
-            [not fanouts for fanouts in self._fanout_indices], dtype=bool
-        ) & ~self._is_po
+        dangling = (schedule.fanout_counts == 0) & ~self._is_po
         loads[dangling] += self.default_output_load
         return loads
 
@@ -367,25 +392,11 @@ class Netlist:
 
     def logic_depth(self) -> int:
         """Maximum number of gates on any input-to-output path."""
-        self._ensure_current()
-        depth = np.zeros(len(self._order), dtype=int)
-        for gate_pos, fanins in enumerate(self._fanin_indices):
-            if fanins:
-                depth[gate_pos] = max(depth[f] for f in fanins) + 1
-            else:
-                depth[gate_pos] = 1
-        return int(depth.max()) if len(depth) else 0
+        return self.timing_schedule().n_levels
 
     def levels(self) -> np.ndarray:
         """Logic level of every gate (topological order), starting at 1."""
-        self._ensure_current()
-        depth = np.zeros(len(self._order), dtype=int)
-        for gate_pos, fanins in enumerate(self._fanin_indices):
-            if fanins:
-                depth[gate_pos] = max(depth[f] for f in fanins) + 1
-            else:
-                depth[gate_pos] = 1
-        return depth
+        return self.timing_schedule().levels.astype(int) + 1
 
     # ------------------------------------------------------------------
     # Placement

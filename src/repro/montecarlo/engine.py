@@ -54,6 +54,15 @@ class MonteCarloEngine:
         fixed seed and input design.
     grid_size:
         Resolution of the spatial-correlation grid.
+    chunk_size:
+        When set, samples are drawn and propagated in blocks of at most this
+        many die realisations, so peak memory is ``O(chunk_size * n_devices)``
+        instead of ``O(n_samples * n_devices)`` and million-sample runs fit
+        in memory.  ``None`` (the default) processes all samples in one
+        block.  Chunked and unchunked runs consume the random stream in a
+        different order, so their individual samples differ for a fixed seed
+        (the distributions are identical); a chunked run is reproducible for
+        a fixed ``(seed, chunk_size)``.
     """
 
     def __init__(
@@ -63,14 +72,18 @@ class MonteCarloEngine:
         n_samples: int = 2000,
         seed: int = 2005,
         grid_size: int = 8,
+        chunk_size: int | None = None,
     ) -> None:
         if n_samples < 2:
             raise ValueError(f"n_samples must be at least 2, got {n_samples}")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError(f"chunk_size must be at least 1, got {chunk_size}")
         self.technology = technology if technology is not None else default_technology()
         self.variation = variation
         self.n_samples = int(n_samples)
         self.seed = int(seed)
         self.grid_size = int(grid_size)
+        self.chunk_size = int(chunk_size) if chunk_size is not None else None
         self.delay_model = GateDelayModel(self.technology)
         self.sampler = ParameterSampler(self.technology, variation, grid_size=grid_size)
 
@@ -79,6 +92,13 @@ class MonteCarloEngine:
     # ------------------------------------------------------------------
     def _rng(self) -> np.random.Generator:
         return np.random.default_rng(self.seed)
+
+    def _chunk_counts(self) -> list[int]:
+        """Sample-block sizes for one run (one entry when unchunked)."""
+        if self.chunk_size is None or self.chunk_size >= self.n_samples:
+            return [self.n_samples]
+        full, rest = divmod(self.n_samples, self.chunk_size)
+        return [self.chunk_size] * full + ([rest] if rest else [])
 
     def _stage_device_arrays(
         self, stage: PipelineStage
@@ -103,11 +123,14 @@ class MonteCarloEngine:
         stage: PipelineStage,
         vth: np.ndarray,
         length: np.ndarray,
+        workspace: np.ndarray | None = None,
     ) -> np.ndarray:
         """Stage delay samples given this stage's device parameter samples.
 
         ``vth``/``length`` have one column per device: the stage's gates in
-        topological order followed by the register device.
+        topological order followed by the register device.  ``workspace`` is
+        an optional ``(n_chunk_samples, n_gates)`` arrival buffer reused
+        across sample chunks.
         """
         netlist = stage.netlist
         n_gates = netlist.n_gates
@@ -118,7 +141,9 @@ class MonteCarloEngine:
 
         if n_gates > 0:
             delays = self.delay_model.delay_samples(netlist, gate_vth, gate_length)
-            comb = np.asarray(max_delay(netlist, delays))
+            if workspace is not None:
+                workspace = workspace[: delays.shape[0]]
+            comb = np.asarray(max_delay(netlist, delays, out=workspace))
         else:
             comb = np.zeros(vth.shape[0])
         overhead = stage.flipflop.overhead_samples(
@@ -133,8 +158,20 @@ class MonteCarloEngine:
         """Monte-Carlo delay distribution of a single stage."""
         rng = self._rng()
         sizes, xs, ys = self._stage_device_arrays(stage)
-        samples = self.sampler.sample(sizes, xs, ys, self.n_samples, rng)
-        delays = self._stage_delay_from_samples(stage, samples.vth, samples.length)
+        delays = np.empty(self.n_samples)
+        chunks = self._chunk_counts()
+        workspace = (
+            np.empty((chunks[0], stage.netlist.n_gates))
+            if stage.netlist.n_gates > 0
+            else None
+        )
+        offset = 0
+        for count in chunks:
+            samples = self.sampler.sample(sizes, xs, ys, count, rng)
+            delays[offset : offset + count] = self._stage_delay_from_samples(
+                stage, samples.vth, samples.length, workspace
+            )
+            offset += count
         return MonteCarloResult(delays, name=stage.name)
 
     def run_netlist(
@@ -173,16 +210,30 @@ class MonteCarloEngine:
         sizes = np.concatenate(all_sizes)
         xs = np.concatenate(all_x)
         ys = np.concatenate(all_y)
-        samples = self.sampler.sample(sizes, xs, ys, self.n_samples, rng)
 
         stage_delays = np.zeros((self.n_samples, pipeline.n_stages))
-        offset = 0
-        for index, stage in enumerate(pipeline.stages):
-            count = per_stage_device_counts[index]
-            vth = samples.vth[:, offset : offset + count]
-            length = samples.length[:, offset : offset + count]
-            stage_delays[:, index] = self._stage_delay_from_samples(stage, vth, length)
-            offset += count
+        chunks = self._chunk_counts()
+        workspaces = [
+            np.empty((chunks[0], stage.netlist.n_gates))
+            if stage.netlist.n_gates > 0
+            else None
+            for stage in pipeline.stages
+        ]
+        sample_offset = 0
+        for count in chunks:
+            samples = self.sampler.sample(sizes, xs, ys, count, rng)
+            device_offset = 0
+            for index, stage in enumerate(pipeline.stages):
+                n_devices = per_stage_device_counts[index]
+                vth = samples.vth[:, device_offset : device_offset + n_devices]
+                length = samples.length[:, device_offset : device_offset + n_devices]
+                stage_delays[
+                    sample_offset : sample_offset + count, index
+                ] = self._stage_delay_from_samples(
+                    stage, vth, length, workspaces[index]
+                )
+                device_offset += n_devices
+            sample_offset += count
 
         return PipelineMonteCarloResult(
             stage_samples=stage_delays,

@@ -18,6 +18,7 @@ from __future__ import annotations
 import numpy as np
 from scipy.stats import norm
 
+from repro.circuit.schedule import expand_csr_rows
 from repro.core.stage_delay import StageDelayDistribution
 from repro.optimize.result import SizingResult
 from repro.pipeline.stage import PipelineStage
@@ -85,7 +86,10 @@ class GreedySizer:
         area_coeff = coeffs["area_factor"] * tech.area_unit
         input_cap_unit = coeffs["logical_effort"] * tech.c_unit
         index_of = netlist.gate_index()
-        fanins = netlist.fanin_indices()
+        # The compiled schedule is cached across the whole sizing run: size
+        # moves do not touch netlist structure, so every arrival/critical-path
+        # evaluation below reuses the same CSR arrays.
+        schedule = netlist.timing_schedule()
         output_mask = netlist.output_mask()
         if not output_mask.any():
             output_mask = np.ones(n_gates, dtype=bool)
@@ -115,44 +119,46 @@ class GreedySizer:
             if worst_arrival <= budget:
                 break
 
-            path_names = critical_path(netlist, nominal)
-            path_positions = [index_of[name] for name in path_names]
+            path_names = critical_path(netlist, nominal, arrivals=arrivals)
+            path_positions = np.array(
+                [index_of[name] for name in path_names], dtype=np.int64
+            )
             on_path = np.zeros(n_gates, dtype=bool)
             on_path[path_positions] = True
             loads = netlist.load_capacitances(sizes)
 
-            best_gate = -1
-            best_ratio = 0.0
-            best_new_size = 0.0
-            for gate_pos in path_positions:
-                current = sizes[gate_pos]
-                proposed = min(current * self.size_step, self.max_size)
-                if proposed <= current * (1.0 + 1e-9):
-                    continue
-                # Own delay improves because the drive resistance drops.
-                own_change = tech.r_unit * loads[gate_pos] * (1.0 / proposed - 1.0 / current)
-                # Fanins on the critical path slow down because this gate's
-                # input capacitance grows.
-                fanin_penalty = 0.0
-                extra_cap = input_cap_unit[gate_pos] * (proposed - current)
-                for fanin_pos in fanins[gate_pos]:
-                    if on_path[fanin_pos]:
-                        fanin_penalty += tech.r_unit / sizes[fanin_pos] * extra_cap
-                benefit = -(own_change + fanin_penalty)
-                if benefit <= 0.0:
-                    continue
-                cost = area_coeff[gate_pos] * (proposed - current)
-                ratio = benefit / cost
-                if ratio > best_ratio:
-                    best_ratio = ratio
-                    best_gate = gate_pos
-                    best_new_size = proposed
-
-            if best_gate < 0:
+            # Evaluate every candidate move on the critical path at once.
+            current = sizes[path_positions]
+            proposed = np.minimum(current * self.size_step, self.max_size)
+            growable = proposed > current * (1.0 + 1e-9)
+            # Own delay improves because the drive resistance drops.
+            own_change = (
+                tech.r_unit * loads[path_positions] * (1.0 / proposed - 1.0 / current)
+            )
+            # Fanins on the critical path slow down because this gate's
+            # input capacitance grows.
+            extra_cap = input_cap_unit[path_positions] * (proposed - current)
+            flat, owner = expand_csr_rows(
+                schedule.fanin_ptr, schedule.fanin_idx, path_positions
+            )
+            penalty_per_cap = np.bincount(
+                owner,
+                weights=np.where(on_path[flat], tech.r_unit / sizes[flat], 0.0),
+                minlength=path_positions.shape[0],
+            )
+            benefit = -(own_change + penalty_per_cap * extra_cap)
+            cost = area_coeff[path_positions] * (proposed - current)
+            ratio = np.where(
+                growable & (benefit > 0.0),
+                benefit / np.where(cost > 0.0, cost, 1.0),
+                0.0,
+            )
+            best = int(np.argmax(ratio))
+            if ratio[best] <= 0.0:
                 # No move improves the critical path; the target is infeasible
                 # within the size bounds.
                 break
-            sizes[best_gate] = best_new_size
+            sizes[path_positions[best]] = proposed[best]
             moves += 1
             if moves % self.sigma_refresh == 0:
                 budget = statistical_budget(sizes)

@@ -107,13 +107,11 @@ class LagrangianSizer:
     # ------------------------------------------------------------------
     def _edges(self, netlist) -> tuple[np.ndarray, np.ndarray]:
         """Gate-to-gate timing arcs as (source, destination) index arrays."""
-        sources: list[int] = []
-        destinations: list[int] = []
-        for gate_pos, fanins in enumerate(netlist.fanin_indices()):
-            for fanin_pos in fanins:
-                sources.append(fanin_pos)
-                destinations.append(gate_pos)
-        return np.array(sources, dtype=int), np.array(destinations, dtype=int)
+        schedule = netlist.timing_schedule()
+        return (
+            schedule.fanin_idx.astype(int),
+            schedule.edge_owner.astype(int),
+        )
 
     def _resize_sweep(
         self,
@@ -124,37 +122,54 @@ class LagrangianSizer:
         input_cap_unit: np.ndarray,
         damping: float = 0.5,
     ) -> np.ndarray:
-        """One Gauss-Seidel resize sweep in reverse topological order.
+        """One Gauss-Seidel resize sweep in reverse level order.
 
         Each gate is resized with the closed-form optimum of its local
         Lagrangian subproblem, using already-updated fanout sizes for its
         load and current fanin sizes for the loading pressure it exerts on
         its drivers.  ``damping`` blends the update geometrically with the
         previous size to suppress oscillation on reconvergent structures.
+
+        Gates within one logic level never drive each other, so the sweep
+        processes a whole level at once over the compiled schedule: the
+        fanouts (strictly higher levels) are already updated and the fanins
+        (strictly lower levels) are untouched, which is exactly the update
+        order of the original reverse-topological per-gate loop.
         """
-        tech = self.technology
         sizes = sizes.copy()
-        fanins = netlist.fanin_indices()
-        fanouts = netlist.fanout_indices()
+        schedule = netlist.timing_schedule()
         output_mask = netlist.output_mask()
         pin_cap = input_cap_unit  # per-unit-size input capacitance of each gate
-        n_gates = sizes.shape[0]
-        for gate_pos in range(n_gates - 1, -1, -1):
-            load = 0.0
-            for fanout_pos in fanouts[gate_pos]:
-                load += pin_cap[fanout_pos] * sizes[fanout_pos]
-            if output_mask[gate_pos] or not fanouts[gate_pos]:
-                load += netlist.default_output_load
-            pressure = 0.0
-            for fanin_pos in fanins[gate_pos]:
-                pressure += weights[fanin_pos] / sizes[fanin_pos]
-            denominator = area_coeff[gate_pos] + pin_cap[gate_pos] * pressure
-            numerator = weights[gate_pos] * load
-            if numerator <= 0.0 or denominator <= 0.0:
-                continue
-            optimum = (numerator / denominator) ** 0.5
-            blended = sizes[gate_pos] ** (1.0 - damping) * optimum**damping
-            sizes[gate_pos] = min(max(blended, self.min_size), self.max_size)
+        base_load = np.where(
+            output_mask | (schedule.fanout_counts == 0),
+            netlist.default_output_load,
+            0.0,
+        )
+        for level in range(schedule.n_levels - 1, -1, -1):
+            gates = schedule.level_gates[level]
+            loads = base_load[gates].copy()
+            driven = schedule.rev_level_gates[level]
+            if driven.shape[0]:
+                fanout_edges = schedule.rev_level_edges[level]
+                contributions = pin_cap[fanout_edges] * sizes[fanout_edges]
+                summed = np.add.reduceat(contributions, schedule.rev_level_seg[level])
+                loads[np.searchsorted(gates, driven)] += summed
+            if level == 0:
+                pressure = np.zeros(gates.shape[0])
+            else:
+                fanin_edges = schedule.level_edges[level]
+                pressure = np.add.reduceat(
+                    weights[fanin_edges] / sizes[fanin_edges],
+                    schedule.level_seg[level],
+                )
+            denominator = area_coeff[gates] + pin_cap[gates] * pressure
+            numerator = weights[gates] * loads
+            valid = (numerator > 0.0) & (denominator > 0.0)
+            safe_den = np.where(valid, denominator, 1.0)
+            optimum = (numerator / safe_den) ** 0.5
+            blended = sizes[gates] ** (1.0 - damping) * optimum**damping
+            updated = np.clip(blended, self.min_size, self.max_size)
+            sizes[gates] = np.where(valid, updated, sizes[gates])
         return sizes
 
     def _stage_form(self, stage: PipelineStage, sizes: np.ndarray):

@@ -16,7 +16,13 @@
 """
 
 from repro.timing.delay_model import GateDelayModel
-from repro.timing.sta import arrival_times, critical_path, max_delay, required_times
+from repro.timing.sta import (
+    arrival_times,
+    critical_path,
+    max_delay,
+    required_times,
+    slacks,
+)
 from repro.timing.ssta import CanonicalForm, StatisticalTimingAnalyzer
 
 __all__ = [
@@ -25,6 +31,7 @@ __all__ = [
     "max_delay",
     "critical_path",
     "required_times",
+    "slacks",
     "CanonicalForm",
     "StatisticalTimingAnalyzer",
 ]

@@ -1,0 +1,127 @@
+"""Naive reference timing kernels (retained seed implementations).
+
+These are the original gate-at-a-time Python-loop implementations of the
+STA/SSTA propagation kernels, kept verbatim so that:
+
+* the property-based test suite can assert the vectorized level-parallel
+  kernels in :mod:`repro.timing.sta` and :mod:`repro.timing.ssta` match them
+  to tight tolerances on arbitrary DAGs, and
+* the performance benchmark (``benchmarks/bench_perf_timing.py``) can report
+  the speedup of the compiled-schedule kernels against a fixed baseline.
+
+They are not used on any production path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuit.netlist import Netlist
+
+
+def arrival_times_reference(netlist: Netlist, gate_delays: np.ndarray) -> np.ndarray:
+    """Seed implementation of :func:`repro.timing.sta.arrival_times`."""
+    gate_delays = np.asarray(gate_delays, dtype=float)
+    fanins = netlist.fanin_indices()
+    n_gates = len(fanins)
+    if gate_delays.shape[-1] != n_gates:
+        raise ValueError(
+            f"gate_delays last dimension must be {n_gates}, got {gate_delays.shape}"
+        )
+    arrivals = np.zeros_like(gate_delays)
+    if gate_delays.ndim == 1:
+        for gate_pos, gate_fanins in enumerate(fanins):
+            latest = 0.0
+            for fanin_pos in gate_fanins:
+                if arrivals[fanin_pos] > latest:
+                    latest = arrivals[fanin_pos]
+            arrivals[gate_pos] = latest + gate_delays[gate_pos]
+    elif gate_delays.ndim == 2:
+        for gate_pos, gate_fanins in enumerate(fanins):
+            if gate_fanins:
+                latest = arrivals[:, gate_fanins[0]]
+                for fanin_pos in gate_fanins[1:]:
+                    latest = np.maximum(latest, arrivals[:, fanin_pos])
+                arrivals[:, gate_pos] = latest + gate_delays[:, gate_pos]
+            else:
+                arrivals[:, gate_pos] = gate_delays[:, gate_pos]
+    else:
+        raise ValueError(
+            f"gate_delays must be 1-D or 2-D, got {gate_delays.ndim} dimensions"
+        )
+    return arrivals
+
+
+def required_times_reference(
+    netlist: Netlist, gate_delays: np.ndarray, target: float
+) -> np.ndarray:
+    """Seed implementation of :func:`repro.timing.sta.required_times`."""
+    gate_delays = np.asarray(gate_delays, dtype=float)
+    if gate_delays.ndim != 1:
+        raise ValueError("required_times expects a 1-D delay vector")
+    fanouts = netlist.fanout_indices()
+    n_gates = len(fanouts)
+    mask = netlist.output_mask()
+    if not mask.any():
+        mask = np.array([not f for f in fanouts], dtype=bool)
+    required = np.full(n_gates, np.inf)
+    required[mask] = target
+    for gate_pos in range(n_gates - 1, -1, -1):
+        for fanout_pos in fanouts[gate_pos]:
+            candidate = required[fanout_pos] - gate_delays[fanout_pos]
+            if candidate < required[gate_pos]:
+                required[gate_pos] = candidate
+    required[np.isinf(required)] = target
+    return required
+
+
+def arrival_components_reference(
+    analyzer, netlist: Netlist, sizes: np.ndarray | None = None
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Seed implementation of ``StatisticalTimingAnalyzer.arrival_components``.
+
+    Performs one scalar Clark max per fanin pair, walking the DAG gate by
+    gate.  ``analyzer`` is a :class:`repro.timing.ssta.StatisticalTimingAnalyzer`.
+    """
+    from repro.timing.ssta import _max_arrays
+
+    means, sens, rands = analyzer.gate_delay_components(netlist, sizes)
+    fanins = netlist.fanin_indices()
+    n_gates = means.shape[0]
+    arr_mean = np.zeros(n_gates)
+    arr_sens = np.zeros((n_gates, analyzer.n_factors))
+    arr_rand = np.zeros(n_gates)
+    for gate_pos, gate_fanins in enumerate(fanins):
+        if gate_fanins:
+            best_mean = arr_mean[gate_fanins[0]]
+            best_sens = arr_sens[gate_fanins[0]]
+            best_rand = arr_rand[gate_fanins[0]]
+            for fanin_pos in gate_fanins[1:]:
+                best_mean, best_sens, best_rand = _max_arrays(
+                    best_mean,
+                    best_sens,
+                    best_rand,
+                    arr_mean[fanin_pos],
+                    arr_sens[fanin_pos],
+                    arr_rand[fanin_pos],
+                )
+        else:
+            best_mean = 0.0
+            best_sens = np.zeros(analyzer.n_factors)
+            best_rand = 0.0
+        arr_mean[gate_pos] = best_mean + means[gate_pos]
+        arr_sens[gate_pos] = best_sens + sens[gate_pos]
+        arr_rand[gate_pos] = float(np.hypot(best_rand, rands[gate_pos]))
+    return arr_mean, arr_sens, arr_rand
+
+
+def correlation_matrix_reference(forms: list) -> np.ndarray:
+    """Seed implementation of ``StatisticalTimingAnalyzer.correlation_matrix``."""
+    n = len(forms)
+    matrix = np.eye(n)
+    for i in range(n):
+        for j in range(i + 1, n):
+            rho = forms[i].correlation(forms[j])
+            matrix[i, j] = rho
+            matrix[j, i] = rho
+    return matrix

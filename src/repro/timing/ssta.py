@@ -146,6 +146,54 @@ def _max_arrays(
     return mean_max, sens_max, rand_max
 
 
+def _max_arrays_batch(
+    mean_a: np.ndarray,
+    sens_a: np.ndarray,
+    rand_a: np.ndarray,
+    mean_b: np.ndarray,
+    sens_b: np.ndarray,
+    rand_b: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Clark max applied elementwise to ``k`` pairs of canonical forms.
+
+    Shapes: means and randoms ``(k,)``, sensitivities ``(k, n_factors)``.
+    Performs the same moment matching as :func:`_max_arrays` but for a whole
+    batch of independent max operations at once -- one call per fanin rank
+    per level instead of one Python call per fanin pair.
+    """
+    var_a = np.einsum("ij,ij->i", sens_a, sens_a) + rand_a * rand_a
+    var_b = np.einsum("ij,ij->i", sens_b, sens_b) + rand_b * rand_b
+    cov_ab = np.einsum("ij,ij->i", sens_a, sens_b)
+    total = var_a + var_b
+    theta_sq = total - 2.0 * cov_ab
+    degenerate = (total <= 0.0) | (theta_sq <= _DEGENERATE_RATIO * total)
+    theta = np.sqrt(np.where(degenerate, 1.0, theta_sq))
+    alpha = (mean_a - mean_b) / theta
+    prob_a = norm.cdf(alpha)
+    prob_b = 1.0 - prob_a
+    phi = norm.pdf(alpha)
+    mean_max = mean_a * prob_a + mean_b * prob_b + theta * phi
+    second_moment = (
+        (mean_a**2 + var_a) * prob_a
+        + (mean_b**2 + var_b) * prob_b
+        + (mean_a + mean_b) * theta * phi
+    )
+    var_max = np.maximum(second_moment - mean_max**2, 0.0)
+    sens_max = prob_a[:, None] * sens_a + prob_b[:, None] * sens_b
+    residual = var_max - np.einsum("ij,ij->i", sens_max, sens_max)
+    rand_max = np.sqrt(np.clip(residual, 0.0, None))
+    if np.any(degenerate):
+        # Numerically identical inputs (up to a constant shift): the max is
+        # simply the form with the larger mean, as in the scalar kernel.
+        use_a = degenerate & (mean_a >= mean_b)
+        use_b = degenerate & ~(mean_a >= mean_b)
+        mean_max = np.where(use_a, mean_a, np.where(use_b, mean_b, mean_max))
+        rand_max = np.where(use_a, rand_a, np.where(use_b, rand_b, rand_max))
+        sens_max[use_a] = sens_a[use_a]
+        sens_max[use_b] = sens_b[use_b]
+    return mean_max, sens_max, rand_max
+
+
 class StatisticalTimingAnalyzer:
     """Canonical-form SSTA engine over a shared global factor basis.
 
@@ -243,34 +291,50 @@ class StatisticalTimingAnalyzer:
     def arrival_components(
         self, netlist: Netlist, sizes: np.ndarray | None = None
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Canonical arrival-time components at every gate output."""
+        """Canonical arrival-time components at every gate output.
+
+        Propagates level by level over the netlist's compiled schedule.  At
+        each level the pairwise Clark fold over every gate's fanins is
+        batched by fanin rank: one :func:`_max_arrays_batch` call folds the
+        ``j``-th fanin of all gates in the level simultaneously, preserving
+        the per-gate left-to-right pin order of the scalar reference.
+        """
         means, sens, rands = self.gate_delay_components(netlist, sizes)
-        fanins = netlist.fanin_indices()
+        schedule = netlist.timing_schedule()
         n_gates = means.shape[0]
         arr_mean = np.zeros(n_gates)
         arr_sens = np.zeros((n_gates, self.n_factors))
         arr_rand = np.zeros(n_gates)
-        for gate_pos, gate_fanins in enumerate(fanins):
-            if gate_fanins:
-                best_mean = arr_mean[gate_fanins[0]]
-                best_sens = arr_sens[gate_fanins[0]]
-                best_rand = arr_rand[gate_fanins[0]]
-                for fanin_pos in gate_fanins[1:]:
-                    best_mean, best_sens, best_rand = _max_arrays(
-                        best_mean,
-                        best_sens,
-                        best_rand,
-                        arr_mean[fanin_pos],
-                        arr_sens[fanin_pos],
-                        arr_rand[fanin_pos],
-                    )
-            else:
-                best_mean = 0.0
-                best_sens = np.zeros(self.n_factors)
-                best_rand = 0.0
-            arr_mean[gate_pos] = best_mean + means[gate_pos]
-            arr_sens[gate_pos] = best_sens + sens[gate_pos]
-            arr_rand[gate_pos] = float(np.hypot(best_rand, rands[gate_pos]))
+        for plan in schedule.level_plans:
+            gates = plan.gates
+            if plan.edge_cols is None:
+                # Source gates: the arrival is the gate's own delay form.
+                arr_mean[gates] = means[gates]
+                arr_sens[gates] = sens[gates]
+                arr_rand[gates] = rands[gates]
+                continue
+            # The plan sorts the level's gates by fanin count, so the gates
+            # still folding their rank-j fanin are always the :k prefix.
+            first = plan.edge_cols[: plan.width]
+            acc_mean = arr_mean[first]
+            acc_sens = arr_sens[first]
+            acc_rand = arr_rand[first]
+            offset = plan.width
+            for k in plan.rank_counts:
+                nxt = plan.edge_cols[offset : offset + k]
+                folded = _max_arrays_batch(
+                    acc_mean[:k],
+                    acc_sens[:k],
+                    acc_rand[:k],
+                    arr_mean[nxt],
+                    arr_sens[nxt],
+                    arr_rand[nxt],
+                )
+                acc_mean[:k], acc_sens[:k], acc_rand[:k] = folded
+                offset += k
+            arr_mean[gates] = acc_mean + means[gates]
+            arr_sens[gates] = acc_sens + sens[gates]
+            arr_rand[gates] = np.hypot(acc_rand, rands[gates])
         return arr_mean, arr_sens, arr_rand
 
     def combinational_delay(
@@ -286,13 +350,18 @@ class StatisticalTimingAnalyzer:
         # (after Ross/Clark) that this ordering minimises the approximation
         # error of the pairwise max.
         positions = positions[np.argsort(arr_mean[positions])]
-        first = positions[0]
-        mean = arr_mean[first]
-        sens = arr_sens[first].copy()
-        rand = arr_rand[first]
-        for pos in positions[1:]:
+        # Gather the sorted chain into contiguous arrays once, then fold; the
+        # pairwise chain itself is inherently sequential (each max feeds the
+        # next) but this avoids re-indexing the component arrays every step.
+        chain_mean = arr_mean[positions]
+        chain_sens = arr_sens[positions]
+        chain_rand = arr_rand[positions]
+        mean = float(chain_mean[0])
+        sens = chain_sens[0].copy()
+        rand = float(chain_rand[0])
+        for pos in range(1, positions.shape[0]):
             mean, sens, rand = _max_arrays(
-                mean, sens, rand, arr_mean[pos], arr_sens[pos], arr_rand[pos]
+                mean, sens, rand, chain_mean[pos], chain_sens[pos], chain_rand[pos]
             )
         return CanonicalForm(mean, sens, rand)
 
@@ -355,12 +424,30 @@ class StatisticalTimingAnalyzer:
     # Cross-stage statistics
     # ------------------------------------------------------------------
     def correlation_matrix(self, forms: list[CanonicalForm]) -> np.ndarray:
-        """Correlation matrix of a list of canonical forms."""
+        """Correlation matrix of a list of canonical forms.
+
+        Computed in one shot as ``S @ S.T`` over the stacked sensitivity
+        matrix plus the private (random) variances on the diagonal, instead
+        of ``O(n^2)`` scalar covariance calls.
+        """
         n = len(forms)
-        matrix = np.eye(n)
-        for i in range(n):
-            for j in range(i + 1, n):
-                rho = forms[i].correlation(forms[j])
-                matrix[i, j] = rho
-                matrix[j, i] = rho
+        if n == 0:
+            return np.eye(0)
+        shapes = {form.sensitivities.shape for form in forms}
+        if len(shapes) > 1:
+            first, second, *_ = sorted(shapes)
+            raise ValueError(
+                "canonical forms have incompatible factor bases: "
+                f"{first} vs {second}"
+            )
+        stacked = np.stack([form.sensitivities for form in forms])
+        randoms = np.array([form.sigma_random for form in forms])
+        covariance = stacked @ stacked.T
+        sigma = np.sqrt(np.diag(covariance) + randoms**2)
+        denom = np.outer(sigma, sigma)
+        matrix = np.divide(
+            covariance, denom, out=np.zeros((n, n)), where=denom > 0.0
+        )
+        matrix = np.clip(matrix, -1.0, 1.0)
+        np.fill_diagonal(matrix, 1.0)
         return matrix

@@ -1,15 +1,20 @@
 """Deterministic static timing analysis.
 
-Walks a :class:`~repro.circuit.netlist.Netlist` in topological order and
-propagates arrival times:
+Propagates arrival times through a :class:`~repro.circuit.netlist.Netlist`:
 
     arrival(g) = max over fanins f of arrival(f) + delay(g)
 
 Primary inputs arrive at time zero.  The functions accept either a single
 per-gate delay vector (shape ``(n_gates,)``) or a matrix of per-sample
-delays (shape ``(n_samples, n_gates)``); in the latter case every operation
-is vectorised across samples, which is what makes the Monte-Carlo engine
-fast enough to serve as the SPICE stand-in.
+delays (shape ``(n_samples, n_gates)``).
+
+The kernels run on the netlist's compiled :class:`~repro.circuit.schedule.TimingSchedule`:
+gates are processed level by level, and within a level the max over every
+gate's fanins -- across *all* Monte-Carlo samples at once -- is a single
+gather plus ``np.maximum.reduceat``.  Compared to the seed's gate-at-a-time
+Python loop this removes the per-gate interpreter overhead that dominated
+``MonteCarloEngine.run_pipeline``; the naive loop survives in
+:mod:`repro.timing.reference` as the correctness oracle.
 """
 
 from __future__ import annotations
@@ -19,7 +24,47 @@ import numpy as np
 from repro.circuit.netlist import Netlist
 
 
-def arrival_times(netlist: Netlist, gate_delays: np.ndarray) -> np.ndarray:
+# Sample-block byte target for the 2-D kernel: one arrival block plus one
+# delay block should sit inside a typical L2 cache while the level loop's
+# Python overhead stays amortised over enough samples.
+_BLOCK_BYTES = 1 << 20
+
+
+def _propagate_block(schedule, delays: np.ndarray, arrivals: np.ndarray) -> None:
+    """Forward-propagate one (contiguous) batch of sample rows in place.
+
+    ``delays``/``arrivals`` are ``(n_rows, n_gates)`` (or 1-D) views.  Each
+    level performs ONE fancy gather of every fanin arrival in rank-major
+    order (``LevelMaxPlan.edge_cols``) and folds the pin ranks with plain
+    contiguous-slice maximums -- the max is exact, so any fold order
+    reproduces the naive per-gate loop bit for bit.
+    """
+    for plan in schedule.level_plans:
+        gates = plan.gates
+        if plan.edge_cols is None:
+            # Source gates: arrival is just the gate's own delay.
+            arrivals[..., gates] = delays[..., gates]
+            continue
+        width = plan.width
+        gathered = arrivals[..., plan.edge_cols]
+        latest = gathered[..., :width]
+        offset = width
+        for rank_count in plan.rank_counts:
+            np.maximum(
+                latest[..., :rank_count],
+                gathered[..., offset : offset + rank_count],
+                out=latest[..., :rank_count],
+            )
+            offset += rank_count
+        latest += delays[..., gates]
+        arrivals[..., gates] = latest
+
+
+def arrival_times(
+    netlist: Netlist,
+    gate_delays: np.ndarray,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
     """Arrival time at the output of every gate.
 
     Parameters
@@ -29,52 +74,69 @@ def arrival_times(netlist: Netlist, gate_delays: np.ndarray) -> np.ndarray:
     gate_delays:
         Per-gate delays in topological order: either ``(n_gates,)`` or
         ``(n_samples, n_gates)``.
+    out:
+        Optional preallocated result array of the same shape and dtype.
+        Streaming callers (the chunked Monte-Carlo engine, the sizers' inner
+        loops) pass a reused workspace here: for large sample blocks the
+        page-fault cost of a fresh allocation rivals the propagation itself.
 
     Returns
     -------
     numpy.ndarray
-        Arrival times with the same shape as ``gate_delays``.
+        Arrival times with the same shape as ``gate_delays`` (``out`` when
+        it was provided).
     """
     gate_delays = np.asarray(gate_delays, dtype=float)
-    fanins = netlist.fanin_indices()
-    n_gates = len(fanins)
-    if gate_delays.shape[-1] != n_gates:
+    schedule = netlist.timing_schedule()
+    if gate_delays.shape[-1] != schedule.n_gates:
         raise ValueError(
-            f"gate_delays last dimension must be {n_gates}, got {gate_delays.shape}"
+            f"gate_delays last dimension must be {schedule.n_gates}, "
+            f"got {gate_delays.shape}"
         )
-    arrivals = np.zeros_like(gate_delays)
-    if gate_delays.ndim == 1:
-        for gate_pos, gate_fanins in enumerate(fanins):
-            latest = 0.0
-            for fanin_pos in gate_fanins:
-                if arrivals[fanin_pos] > latest:
-                    latest = arrivals[fanin_pos]
-            arrivals[gate_pos] = latest + gate_delays[gate_pos]
-    elif gate_delays.ndim == 2:
-        for gate_pos, gate_fanins in enumerate(fanins):
-            if gate_fanins:
-                latest = arrivals[:, gate_fanins[0]]
-                for fanin_pos in gate_fanins[1:]:
-                    latest = np.maximum(latest, arrivals[:, fanin_pos])
-                arrivals[:, gate_pos] = latest + gate_delays[:, gate_pos]
-            else:
-                arrivals[:, gate_pos] = gate_delays[:, gate_pos]
-    else:
+    if gate_delays.ndim not in (1, 2):
         raise ValueError(
             f"gate_delays must be 1-D or 2-D, got {gate_delays.ndim} dimensions"
         )
+    if out is None:
+        arrivals = np.empty_like(gate_delays)
+    else:
+        if out.shape != gate_delays.shape or out.dtype != gate_delays.dtype:
+            raise ValueError(
+                f"out must match gate_delays (shape {gate_delays.shape}, "
+                f"dtype {gate_delays.dtype}), got shape {out.shape}, "
+                f"dtype {out.dtype}"
+            )
+        arrivals = out
+    if gate_delays.ndim == 1:
+        _propagate_block(schedule, gate_delays, arrivals)
+        return arrivals
+    # 2-D: process sample rows in cache-sized blocks.  Gates in one level are
+    # mutually independent, so each block streams through the level sequence
+    # with its whole working set resident in L2.
+    n_samples = gate_delays.shape[0]
+    block = max(16, _BLOCK_BYTES // max(8 * schedule.n_gates, 1))
+    for start in range(0, n_samples, block):
+        stop = min(start + block, n_samples)
+        _propagate_block(schedule, gate_delays[start:stop], arrivals[start:stop])
     return arrivals
 
 
-def max_delay(netlist: Netlist, gate_delays: np.ndarray) -> np.ndarray | float:
+def max_delay(
+    netlist: Netlist,
+    gate_delays: np.ndarray,
+    out: np.ndarray | None = None,
+) -> np.ndarray | float:
     """Maximum arrival time over the primary outputs.
 
     If no primary outputs are marked, the maximum over all gates is used
     (every path must terminate somewhere).
 
+    ``out`` is an optional arrival-time workspace forwarded to
+    :func:`arrival_times` so streaming callers can avoid reallocating it.
+
     Returns a scalar for 1-D delays, or an ``(n_samples,)`` array for 2-D.
     """
-    arrivals = arrival_times(netlist, gate_delays)
+    arrivals = arrival_times(netlist, gate_delays, out=out)
     mask = netlist.output_mask()
     if not mask.any():
         mask = np.ones(arrivals.shape[-1], dtype=bool)
@@ -92,22 +154,36 @@ def required_times(
     ``required(g) = min over fanouts h of (required(h) - delay(h))``,
     with ``required = target`` at the primary outputs (or at sink gates when
     no outputs are marked).  Only defined for 1-D delay vectors.
+
+    The backward walk mirrors the forward kernel: levels are visited from
+    deepest to shallowest, and each level's min over fanouts is one gather
+    plus ``np.minimum.reduceat`` (a gate's fanouts always sit at strictly
+    higher levels, so they are final by the time the gate is visited).
     """
     gate_delays = np.asarray(gate_delays, dtype=float)
     if gate_delays.ndim != 1:
         raise ValueError("required_times expects a 1-D delay vector")
-    fanouts = netlist.fanout_indices()
-    n_gates = len(fanouts)
+    schedule = netlist.timing_schedule()
+    n_gates = schedule.n_gates
+    if gate_delays.shape[0] != n_gates:
+        raise ValueError(
+            f"gate_delays must have length {n_gates}, got {gate_delays.shape}"
+        )
     mask = netlist.output_mask()
     if not mask.any():
-        mask = np.array([not f for f in fanouts], dtype=bool)
+        mask = schedule.fanout_counts == 0
     required = np.full(n_gates, np.inf)
     required[mask] = target
-    for gate_pos in range(n_gates - 1, -1, -1):
-        for fanout_pos in fanouts[gate_pos]:
-            candidate = required[fanout_pos] - gate_delays[fanout_pos]
-            if candidate < required[gate_pos]:
-                required[gate_pos] = candidate
+    for level in range(schedule.n_levels - 1, -1, -1):
+        gates = schedule.rev_level_gates[level]
+        if gates.shape[0] == 0:
+            continue
+        candidates = (
+            required[schedule.rev_level_edges[level]]
+            - gate_delays[schedule.rev_level_edges[level]]
+        )
+        tightest = np.minimum.reduceat(candidates, schedule.rev_level_seg[level])
+        required[gates] = np.minimum(required[gates], tightest)
     # Sink gates that are not marked outputs still default to the target.
     required[np.isinf(required)] = target
     return required
@@ -120,17 +196,37 @@ def slacks(netlist: Netlist, gate_delays: np.ndarray, target: float) -> np.ndarr
     return required - arrivals
 
 
-def critical_path(netlist: Netlist, gate_delays: np.ndarray) -> list[str]:
+def critical_path(
+    netlist: Netlist,
+    gate_delays: np.ndarray,
+    arrivals: np.ndarray | None = None,
+) -> list[str]:
     """Gate names on the longest path, from first gate to primary output.
 
     Only defined for 1-D delay vectors.
+
+    Parameters
+    ----------
+    arrivals:
+        Optional precomputed arrival times for ``gate_delays`` (as returned
+        by :func:`arrival_times`); callers that already hold them -- the
+        greedy sizer evaluates arrivals every move -- avoid a redundant full
+        propagation.
     """
     gate_delays = np.asarray(gate_delays, dtype=float)
     if gate_delays.ndim != 1:
         raise ValueError("critical_path expects a 1-D delay vector")
-    arrivals = arrival_times(netlist, gate_delays)
+    if arrivals is None:
+        arrivals = arrival_times(netlist, gate_delays)
+    else:
+        arrivals = np.asarray(arrivals, dtype=float)
+        if arrivals.shape != gate_delays.shape:
+            raise ValueError(
+                f"arrivals shape {arrivals.shape} does not match "
+                f"gate_delays shape {gate_delays.shape}"
+            )
     order = netlist.topological_order()
-    fanins = netlist.fanin_indices()
+    schedule = netlist.timing_schedule()
     mask = netlist.output_mask()
     if not mask.any():
         mask = np.ones(len(order), dtype=bool)
@@ -139,9 +235,11 @@ def critical_path(netlist: Netlist, gate_delays: np.ndarray) -> list[str]:
     end_pos = int(candidates[np.argmax(arrivals[candidates])])
     path_positions = [end_pos]
     current = end_pos
-    while fanins[current]:
-        predecessor = max(fanins[current], key=lambda pos: arrivals[pos])
+    fanins = schedule.fanins_of(current)
+    while fanins.shape[0]:
+        predecessor = int(fanins[np.argmax(arrivals[fanins])])
         path_positions.append(predecessor)
         current = predecessor
+        fanins = schedule.fanins_of(current)
     path_positions.reverse()
     return [order[pos] for pos in path_positions]

@@ -113,6 +113,44 @@ class TestEngineOnStages:
     def test_engine_validation(self, variation_combined):
         with pytest.raises(ValueError):
             MonteCarloEngine(variation_combined, n_samples=1)
+        with pytest.raises(ValueError):
+            MonteCarloEngine(variation_combined, chunk_size=0)
+
+    def test_chunked_run_matches_statistics(self, variation_combined):
+        """Chunked streaming changes the sample stream but not the physics."""
+        chain = inverter_chain(6)
+        stage = PipelineStage("s", chain)
+        whole = MonteCarloEngine(
+            variation_combined, n_samples=4000, seed=11
+        ).run_stage(stage)
+        chunked = MonteCarloEngine(
+            variation_combined, n_samples=4000, seed=11, chunk_size=300
+        ).run_stage(stage)
+        assert chunked.n_samples == whole.n_samples
+        assert chunked.mean == pytest.approx(whole.mean, rel=0.02)
+        assert chunked.std == pytest.approx(whole.std, rel=0.15)
+
+    def test_chunked_run_reproducible(self, variation_combined):
+        chain = inverter_chain(5)
+        stage = PipelineStage("s", chain)
+        a = MonteCarloEngine(
+            variation_combined, n_samples=250, seed=9, chunk_size=64
+        ).run_stage(stage)
+        b = MonteCarloEngine(
+            variation_combined, n_samples=250, seed=9, chunk_size=64
+        ).run_stage(stage)
+        assert np.allclose(a.samples, b.samples)
+
+    def test_chunk_larger_than_run_matches_unchunked(self, variation_combined):
+        chain = inverter_chain(5)
+        stage = PipelineStage("s", chain)
+        unchunked = MonteCarloEngine(
+            variation_combined, n_samples=200, seed=9
+        ).run_stage(stage)
+        oversized = MonteCarloEngine(
+            variation_combined, n_samples=200, seed=9, chunk_size=10_000
+        ).run_stage(stage)
+        assert np.allclose(unchunked.samples, oversized.samples)
 
 
 class TestEngineOnPipelines:
@@ -122,6 +160,21 @@ class TestEngineOnPipelines:
         result = engine.run_pipeline(pipeline)
         assert result.stage_samples.shape == (300, 4)
         assert result.stage_names == tuple(pipeline.stage_names)
+
+    def test_chunked_pipeline_run(self, variation_combined):
+        pipeline = inverter_chain_pipeline(3, 6)
+        whole = MonteCarloEngine(
+            variation_combined, n_samples=2000, seed=2
+        ).run_pipeline(pipeline)
+        chunked = MonteCarloEngine(
+            variation_combined, n_samples=2000, seed=2, chunk_size=170
+        ).run_pipeline(pipeline)
+        assert chunked.stage_samples.shape == whole.stage_samples.shape
+        assert np.allclose(
+            chunked.stage_samples.mean(axis=0),
+            whole.stage_samples.mean(axis=0),
+            rtol=0.02,
+        )
 
     def test_correlation_regimes(self):
         """Intra-only -> independent stages, inter-only -> perfectly correlated."""

@@ -1,0 +1,231 @@
+"""Property-based tests for the vectorized (compiled-schedule) timing kernels.
+
+The seed's gate-at-a-time implementations survive in
+:mod:`repro.timing.reference`; these tests assert the level-parallel kernels
+in :mod:`repro.timing.sta` / :mod:`repro.timing.ssta` match them to 1e-12
+relative (of the result's own scale) on random DAGs, and exercise the
+structural edge cases the kernels must survive: gates with no gate fanins,
+single-gate netlists, and netlists with no marked primary outputs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuit.generators import inverter_chain, random_logic_block
+from repro.circuit.netlist import Netlist
+from repro.timing.delay_model import GateDelayModel
+from repro.timing.reference import (
+    arrival_components_reference,
+    arrival_times_reference,
+    correlation_matrix_reference,
+    required_times_reference,
+)
+from repro.timing.ssta import StatisticalTimingAnalyzer
+from repro.timing.sta import arrival_times, critical_path, max_delay, required_times
+from repro.process.technology import default_technology
+from repro.process.variation import VariationModel
+
+
+REL = 1e-12
+
+
+def assert_matches(actual: np.ndarray, expected: np.ndarray) -> None:
+    """Assert two kernel results agree to 1e-12 of the result's scale."""
+    scale = float(np.abs(expected).max()) if expected.size else 1.0
+    np.testing.assert_allclose(actual, expected, rtol=REL, atol=REL * max(scale, 1.0e-300))
+
+
+def random_block(n_gates: int, seed: int, n_outputs: int = 3) -> Netlist:
+    depth = max(2, n_gates // 5)
+    return random_logic_block(
+        "block",
+        n_gates=n_gates,
+        depth=depth,
+        n_inputs=5,
+        n_outputs=n_outputs,
+        seed=seed,
+    )
+
+
+class TestDeterministicKernels:
+    @given(
+        st.integers(min_value=5, max_value=80),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_arrival_times_1d_matches_reference(self, n_gates, seed):
+        block = random_block(n_gates, seed)
+        delays = GateDelayModel(default_technology()).nominal_delays(block)
+        assert_matches(arrival_times(block, delays), arrival_times_reference(block, delays))
+
+    @given(
+        st.integers(min_value=5, max_value=60),
+        st.integers(min_value=0, max_value=10**6),
+        st.integers(min_value=1, max_value=16),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_arrival_times_2d_matches_reference(self, n_gates, seed, n_samples):
+        block = random_block(n_gates, seed)
+        rng = np.random.default_rng(seed)
+        delays = rng.uniform(1e-12, 1e-10, size=(n_samples, block.n_gates))
+        assert_matches(arrival_times(block, delays), arrival_times_reference(block, delays))
+
+    @given(
+        st.integers(min_value=5, max_value=60),
+        st.integers(min_value=0, max_value=10**6),
+        st.floats(min_value=0.5, max_value=2.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_required_times_matches_reference(self, n_gates, seed, target_scale):
+        block = random_block(n_gates, seed)
+        delays = GateDelayModel(default_technology()).nominal_delays(block)
+        target = target_scale * float(max_delay(block, delays))
+        assert_matches(
+            required_times(block, delays, target),
+            required_times_reference(block, delays, target),
+        )
+
+    @given(
+        st.integers(min_value=5, max_value=60),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_critical_path_accepts_precomputed_arrivals(self, n_gates, seed):
+        block = random_block(n_gates, seed)
+        delays = GateDelayModel(default_technology()).nominal_delays(block)
+        arrivals = arrival_times(block, delays)
+        assert critical_path(block, delays, arrivals=arrivals) == critical_path(
+            block, delays
+        )
+
+
+class TestStatisticalKernels:
+    @given(
+        st.integers(min_value=5, max_value=50),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_arrival_components_match_reference(self, n_gates, seed):
+        block = random_block(n_gates, seed)
+        analyzer = StatisticalTimingAnalyzer(
+            default_technology(), VariationModel.combined()
+        )
+        vec_mean, vec_sens, vec_rand = analyzer.arrival_components(block)
+        ref_mean, ref_sens, ref_rand = arrival_components_reference(analyzer, block)
+        assert_matches(vec_mean, ref_mean)
+        assert_matches(vec_sens, ref_sens)
+        assert_matches(vec_rand, ref_rand)
+
+    @given(
+        st.integers(min_value=2, max_value=8),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_correlation_matrix_matches_reference(self, n_stages, seed):
+        analyzer = StatisticalTimingAnalyzer(
+            default_technology(), VariationModel.combined()
+        )
+        forms = [
+            analyzer.stage_delay(random_block(20, seed + index))
+            for index in range(n_stages)
+        ]
+        matrix = analyzer.correlation_matrix(forms)
+        assert_matches(matrix, correlation_matrix_reference(forms))
+        assert np.allclose(matrix, matrix.T)
+        assert np.allclose(np.diag(matrix), 1.0)
+
+
+class TestEdgeCases:
+    def test_single_gate_netlist(self):
+        netlist = Netlist("single")
+        netlist.add_primary_input("a")
+        netlist.add_gate("g", "INV", ["a"])
+        netlist.mark_primary_output("g")
+        delays = np.array([3.0])
+        assert_matches(arrival_times(netlist, delays), np.array([3.0]))
+        assert critical_path(netlist, delays) == ["g"]
+        schedule = netlist.timing_schedule()
+        assert schedule.n_levels == 1
+        assert schedule.n_edges == 0
+
+    def test_all_gates_empty_fanin(self):
+        """Every gate driven only by primary inputs: one level, no edges."""
+        netlist = Netlist("flat")
+        netlist.add_primary_input("a")
+        for index in range(4):
+            netlist.add_gate(f"g{index}", "INV", ["a"])
+        netlist.mark_primary_output("g0")
+        delays = np.arange(1.0, 5.0)
+        assert_matches(arrival_times(netlist, delays), delays)
+        assert_matches(
+            arrival_times(netlist, np.tile(delays, (3, 1))),
+            np.tile(delays, (3, 1)),
+        )
+        required = required_times(netlist, delays, target=10.0)
+        assert_matches(required, required_times_reference(netlist, delays, 10.0))
+
+    def test_unmarked_outputs_fall_back_to_all_gates(self):
+        netlist = Netlist("unmarked")
+        netlist.add_primary_input("a")
+        netlist.add_gate("g0", "INV", ["a"])
+        netlist.add_gate("g1", "INV", ["g0"])
+        delays = np.array([1.0, 2.0])
+        assert max_delay(netlist, delays) == pytest.approx(3.0)
+        assert critical_path(netlist, delays) == ["g0", "g1"]
+        assert_matches(
+            required_times(netlist, delays, target=3.0),
+            required_times_reference(netlist, delays, 3.0),
+        )
+
+    def test_unmarked_outputs_ssta(self):
+        netlist = Netlist("unmarked_ssta")
+        netlist.add_primary_input("a")
+        netlist.add_gate("g0", "INV", ["a"])
+        netlist.add_gate("g1", "INV", ["g0"])
+        analyzer = StatisticalTimingAnalyzer(
+            default_technology(), VariationModel.combined()
+        )
+        form = analyzer.combinational_delay(netlist)
+        ref_mean, _, _ = arrival_components_reference(analyzer, netlist)
+        assert form.mean == pytest.approx(float(ref_mean.max()), rel=1e-12)
+
+    def test_edge_free_netlist_loads_are_float(self):
+        """bincount returns int64 for empty weighted input; loads must not."""
+        chain = inverter_chain(1)
+        loads = chain.load_capacitances()
+        assert loads.dtype == np.float64
+        assert loads[0] == pytest.approx(chain.default_output_load)
+
+    def test_empty_netlist(self):
+        netlist = Netlist("empty")
+        netlist.add_primary_input("a")
+        assert arrival_times(netlist, np.zeros(0)).shape == (0,)
+        assert netlist.logic_depth() == 0
+        assert netlist.timing_schedule().n_levels == 0
+
+    def test_schedule_cache_reused_and_invalidated(self):
+        netlist = inverter_chain(5)
+        first = netlist.timing_schedule()
+        assert netlist.timing_schedule() is first
+        # Size mutations must not invalidate the compiled structure.
+        netlist.set_sizes(2.0 * netlist.sizes())
+        assert netlist.timing_schedule() is first
+        # Structural edits must.
+        netlist.add_gate("extra", "INV", ["inv4"])
+        second = netlist.timing_schedule()
+        assert second is not first
+        assert second.version != first.version
+        assert second.n_gates == 6
+
+    def test_schedule_csr_matches_lists(self):
+        block = random_block(40, seed=7)
+        schedule = block.timing_schedule()
+        fanins = block.fanin_indices()
+        fanouts = block.fanout_indices()
+        for gate_pos in range(block.n_gates):
+            assert list(schedule.fanins_of(gate_pos)) == fanins[gate_pos]
+            assert list(schedule.fanouts_of(gate_pos)) == fanouts[gate_pos]
+        levels = block.levels()
+        assert np.array_equal(levels, schedule.levels + 1)
+        assert block.logic_depth() == schedule.n_levels
