@@ -8,10 +8,10 @@ analytical model, for three variation regimes:
   (b) only inter-die variation         -> perfectly correlated stage delays,
   (c) inter + intra (random and spatially correlated) -> partial correlation.
 
-This benchmark regenerates the three panels as data: for each regime it runs
-the Monte-Carlo engine, fits the per-stage distributions, feeds them (plus
-the measured correlations) to the pipeline model, and reports the Monte-Carlo
-vs. analytical mean/sigma together with a coarse histogram overlay.
+This benchmark regenerates the three panels as data through the Study API:
+for each regime one study is characterised once, and the ``montecarlo`` /
+``analytic`` backend report pair provides the Monte-Carlo vs. model
+mean/sigma together with a coarse histogram overlay.
 """
 
 from __future__ import annotations
@@ -20,53 +20,46 @@ import numpy as np
 
 from repro.analysis.histogram import overlay_series
 from repro.analysis.reporting import format_series, format_table
-from repro.core.pipeline_delay import PipelineDelayModel
-from repro.montecarlo.engine import MonteCarloEngine
-from repro.pipeline.builder import inverter_chain_pipeline
-from repro.process.variation import VariationModel
+from repro.api import VariationSpec
 
-from bench_utils import run_once, save_report
+from bench_utils import characterize, inverter_chain_spec, run_once, save_report
 
 N_STAGES = 12
 LOGIC_DEPTH = 10
 N_SAMPLES = 4000
 
 REGIMES = {
-    "fig2a_intra_only": VariationModel.intra_random_only(),
-    "fig2b_inter_only": VariationModel.inter_only(0.040),
-    "fig2c_inter_plus_intra": VariationModel.combined(
+    "fig2a_intra_only": VariationSpec.intra_random_only(),
+    "fig2b_inter_only": VariationSpec.inter_only(0.040),
+    "fig2c_inter_plus_intra": VariationSpec.combined(
         sigma_vth_inter=0.020, sigma_vth_random=0.025, sigma_vth_systematic=0.012
     ),
 }
 
 
-def reproduce_panel(name: str, variation: VariationModel) -> str:
-    pipeline = inverter_chain_pipeline(N_STAGES, LOGIC_DEPTH)
-    engine = MonteCarloEngine(variation, n_samples=N_SAMPLES, seed=2005)
-    mc = engine.run_pipeline(pipeline)
-    pipeline_mc = mc.pipeline_result()
-
-    model = PipelineDelayModel(mc.stage_distributions(), mc.correlation_matrix())
-    estimate = model.estimate()
+def reproduce_panel(name: str, variation: VariationSpec) -> str:
+    mc, model = characterize(
+        inverter_chain_spec(N_STAGES, LOGIC_DEPTH), variation, N_SAMPLES, seed=2005
+    )
 
     summary = format_table(
         ["quantity", "Monte-Carlo", "analytical", "error (%)"],
         [
             [
                 "mean (ps)",
-                pipeline_mc.mean * 1e12,
-                estimate.mean * 1e12,
-                100.0 * abs(estimate.mean - pipeline_mc.mean) / pipeline_mc.mean,
+                mc.pipeline_mean * 1e12,
+                model.pipeline_mean * 1e12,
+                100.0 * abs(model.pipeline_mean - mc.pipeline_mean) / mc.pipeline_mean,
             ],
             [
                 "sigma (ps)",
-                pipeline_mc.std * 1e12,
-                estimate.std * 1e12,
-                100.0 * abs(estimate.std - pipeline_mc.std) / pipeline_mc.std,
+                mc.pipeline_std * 1e12,
+                model.pipeline_std * 1e12,
+                100.0 * abs(model.pipeline_std - mc.pipeline_std) / mc.pipeline_std,
             ],
             [
                 "mean stage correlation",
-                float(np.mean(mc.correlation_matrix()[np.triu_indices(N_STAGES, 1)])),
+                mc.mean_stage_correlation(),
                 "-",
                 "-",
             ],
@@ -74,7 +67,9 @@ def reproduce_panel(name: str, variation: VariationModel) -> str:
         title=f"{name}: {N_STAGES}-stage inverter-chain pipeline, logic depth {LOGIC_DEPTH}",
     )
 
-    overlay = overlay_series(mc.pipeline_samples, estimate.mean, estimate.std, bins=18)
+    overlay = overlay_series(
+        mc.pipeline_samples, model.pipeline_mean, model.pipeline_std, bins=18
+    )
     histogram = format_series(
         "delay (ps)",
         list(np.round(overlay["delay"] * 1e12, 1)),

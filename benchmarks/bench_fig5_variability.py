@@ -13,9 +13,11 @@ Three panels (paper section 3.1):
       intra-dominated regime (more stages hurt) and the inter-dominated
       regime (more stages help).
 
-Panels (a) and (c) are measured with the Monte-Carlo engine on inverter-chain
-pipelines (the paper's workload); panel (b) uses the analytical pipeline
-model directly, as the paper does.
+Panels (a) and (c) are scenario sweeps of Monte-Carlo studies over
+inverter-chain pipelines (the paper's workload), run through the Study API's
+sweep runner with a fixed per-point seed so every point matches a standalone
+run; panel (b) uses the analytical pipeline model directly, as the paper
+does.
 """
 
 from __future__ import annotations
@@ -23,34 +25,43 @@ from __future__ import annotations
 import numpy as np
 
 from repro.analysis.reporting import format_series
+from repro.api import ScenarioSweep, StudySpec, VariationSpec
 from repro.core.stage_delay import StageDelayDistribution
 from repro.core.variability import normalized_series, pipeline_variability_vs_stages
-from repro.montecarlo.engine import MonteCarloEngine
-from repro.pipeline.builder import inverter_chain_pipeline
-from repro.process.variation import VariationModel
 
-from bench_utils import run_once, save_report
+from bench_utils import (
+    inverter_chain_spec,
+    run_once,
+    save_report,
+    study_session,
+    study_spec,
+)
 
 N_SAMPLES = 3000
 
 INTER_SWEEP = {
-    "intra only": VariationModel.combined(sigma_vth_inter=0.0),
-    "inter 20mV + intra": VariationModel.combined(sigma_vth_inter=0.020),
-    "inter 40mV + intra": VariationModel.combined(sigma_vth_inter=0.040),
-    "inter 40mV only": VariationModel.inter_only(0.040),
+    "intra only": VariationSpec.combined(sigma_vth_inter=0.0),
+    "inter 20mV + intra": VariationSpec.combined(sigma_vth_inter=0.020),
+    "inter 40mV + intra": VariationSpec.combined(sigma_vth_inter=0.040),
+    "inter 40mV only": VariationSpec.inter_only(0.040),
 }
+
+
+def _sweep_reports(base: StudySpec, axes: dict) -> list:
+    """Zip-sweep a study, fixed seed per point, on the shared session."""
+    sweep = ScenarioSweep(base, axes, mode="zip", seed_policy="fixed")
+    return sweep.run(session=study_session()).reports()
 
 
 def fig5a_stage_variability() -> str:
     depths = [5, 10, 20, 40]
     series = {}
     for label, variation in INTER_SWEEP.items():
-        engine = MonteCarloEngine(variation, n_samples=N_SAMPLES, seed=51)
-        values = []
-        for depth in depths:
-            pipeline = inverter_chain_pipeline(1, depth)
-            result = engine.run_pipeline(pipeline).stage_result(0)
-            values.append(result.variability)
+        base = study_spec(
+            inverter_chain_spec(1, depths[0]), variation, N_SAMPLES, seed=51
+        )
+        reports = _sweep_reports(base, {"pipeline.logic_depth": depths})
+        values = [report.stage_variabilities()[0] for report in reports]
         series[label] = list(np.round(normalized_series(np.array(values)), 3))
     return format_series(
         "stage logic depth",
@@ -83,18 +94,26 @@ def fig5c_fixed_total_depth() -> str:
     total_depth = 120
     counts = [4, 6, 8, 12, 24]
     sweeps = {
-        "sigmaVth_inter = 0mV": VariationModel.combined(sigma_vth_inter=0.0),
-        "sigmaVth_inter = 20mV": VariationModel.combined(sigma_vth_inter=0.020),
-        "sigmaVth_inter = 40mV": VariationModel.combined(sigma_vth_inter=0.040),
+        "sigmaVth_inter = 0mV": VariationSpec.combined(sigma_vth_inter=0.0),
+        "sigmaVth_inter = 20mV": VariationSpec.combined(sigma_vth_inter=0.020),
+        "sigmaVth_inter = 40mV": VariationSpec.combined(sigma_vth_inter=0.040),
     }
     series = {}
     for label, variation in sweeps.items():
-        engine = MonteCarloEngine(variation, n_samples=N_SAMPLES, seed=53)
-        values = []
-        for count in counts:
-            pipeline = inverter_chain_pipeline(count, total_depth // count)
-            result = engine.run_pipeline(pipeline).pipeline_result()
-            values.append(result.variability)
+        base = study_spec(
+            inverter_chain_spec(counts[0], total_depth // counts[0]),
+            variation,
+            N_SAMPLES,
+            seed=53,
+        )
+        reports = _sweep_reports(
+            base,
+            {
+                "pipeline.n_stages": counts,
+                "pipeline.logic_depth": [total_depth // count for count in counts],
+            },
+        )
+        values = [report.variability for report in reports]
         series[label] = list(np.round(np.array(values), 4))
     return format_series(
         "number of stages (N_S, with N_S x N_L = 120)",

@@ -8,55 +8,48 @@ yield for five inverter-chain pipeline configurations (stages x logic depth):
 Absolute picoseconds differ from the paper (synthetic technology instead of
 BPTM SPICE), so each row's target delay is chosen at the same *relative*
 position the paper's targets occupy (a few sigma above the Monte-Carlo mean);
-the comparison of interest is model vs. Monte-Carlo on the same row.
+the comparison of interest is model vs. Monte-Carlo on the same row.  Each
+row is one Study: the ``montecarlo`` / ``analytic`` backend pair shares a
+single cached characterisation per configuration.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.analysis.reporting import format_table
-from repro.core.pipeline_delay import PipelineDelayModel
-from repro.montecarlo.engine import MonteCarloEngine
-from repro.pipeline.builder import inverter_chain_pipeline
-from repro.process.variation import VariationModel
+from repro.api import VariationSpec
 
-from bench_utils import run_once, save_report
+from bench_utils import characterize, inverter_chain_spec, run_once, save_report
 
 N_SAMPLES = 4000
 
 CONFIGURATIONS = [
     # (label, n_stages, logic_depth(s), variation, target quantile)
-    ("8 x 5 (intra)", 8, 5, VariationModel.intra_random_only(), 0.96),
-    ("5 x 8 (intra)", 5, 8, VariationModel.intra_random_only(), 0.78),
-    ("5 x var (intra)", 5, [6, 8, 10, 8, 6], VariationModel.intra_random_only(), 0.92),
-    ("5 x 8 (inter)", 5, 8, VariationModel.inter_only(0.040), 0.88),
+    ("8 x 5 (intra)", 8, 5, VariationSpec.intra_random_only(), 0.96),
+    ("5 x 8 (intra)", 5, 8, VariationSpec.intra_random_only(), 0.78),
+    ("5 x var (intra)", 5, (6, 8, 10, 8, 6), VariationSpec.intra_random_only(), 0.92),
+    ("5 x 8 (inter)", 5, 8, VariationSpec.inter_only(0.040), 0.88),
     ("5 x 8 (inter+intra)", 5, 8,
-     VariationModel.combined(sigma_vth_inter=0.040), 0.90),
+     VariationSpec.combined(sigma_vth_inter=0.040), 0.90),
 ]
 
 
 def reproduce_table1() -> str:
     rows = []
     for label, n_stages, depth, variation, quantile in CONFIGURATIONS:
-        pipeline = inverter_chain_pipeline(n_stages, depth)
-        engine = MonteCarloEngine(variation, n_samples=N_SAMPLES, seed=20050307)
-        mc = engine.run_pipeline(pipeline)
-        pipeline_mc = mc.pipeline_result()
-        target = float(np.quantile(mc.pipeline_samples, quantile))
-
-        model = PipelineDelayModel(mc.stage_distributions(), mc.correlation_matrix())
-        estimate = model.estimate()
+        mc, model = characterize(
+            inverter_chain_spec(n_stages, depth), variation, N_SAMPLES, seed=20050307
+        )
+        target = mc.delay_at_yield(quantile)
 
         rows.append([
             label,
             round(target * 1e12, 1),
-            round(pipeline_mc.mean * 1e12, 1),
-            round(pipeline_mc.std * 1e12, 2),
+            round(mc.pipeline_mean * 1e12, 1),
+            round(mc.pipeline_std * 1e12, 2),
             round(100.0 * mc.yield_at(target), 1),
-            round(estimate.mean * 1e12, 1),
-            round(estimate.std * 1e12, 2),
-            round(100.0 * estimate.yield_at(target), 1),
+            round(model.pipeline_mean * 1e12, 1),
+            round(model.pipeline_std * 1e12, 2),
+            round(100.0 * model.yield_at(target), 1),
         ])
     return format_table(
         [

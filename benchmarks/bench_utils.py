@@ -7,14 +7,30 @@ convention is:
   experiments, not micro-benchmarks, so repeating them only wastes time,
 * the reproduced rows/series are written to ``benchmarks/results/<name>.txt``
   (and echoed to stdout), so they survive pytest's output capturing and can
-  be diffed against EXPERIMENTS.md.
+  be diffed against EXPERIMENTS.md,
+* characterisation goes through the Study API (:mod:`repro.api`) on one
+  module-shared :class:`~repro.api.session.Session`, so benchmarks that ask
+  for both the Monte-Carlo truth and the analytical model of the same
+  configuration sample the circuit exactly once.
 """
 
 from __future__ import annotations
 
 import pathlib
 
+from repro.api import (
+    AnalysisSpec,
+    DelayReport,
+    PipelineSpec,
+    Session,
+    Study,
+    StudySpec,
+    VariationSpec,
+)
+
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+_SESSION: Session | None = None
 
 
 def run_once(benchmark, workload):
@@ -30,3 +46,70 @@ def save_report(name: str, text: str) -> pathlib.Path:
     print(f"\n===== {name} =====")
     print(text)
     return path
+
+
+# ----------------------------------------------------------------------
+# Study-API helpers (the boilerplate formerly copy-pasted per benchmark)
+# ----------------------------------------------------------------------
+def study_session() -> Session:
+    """The session shared by every benchmark of one pytest run."""
+    global _SESSION
+    if _SESSION is None:
+        _SESSION = Session()
+    return _SESSION
+
+
+def inverter_chain_spec(
+    n_stages: int, logic_depth, size: float = 1.0
+) -> PipelineSpec:
+    """Spec for the paper's ``N_S x N_L`` inverter-chain pipelines."""
+    return PipelineSpec(
+        kind="inverter_chain", n_stages=n_stages, logic_depth=logic_depth, size=size
+    )
+
+
+def study_spec(
+    pipeline: PipelineSpec,
+    variation: VariationSpec,
+    n_samples: int,
+    seed: int,
+    **spec_kwargs,
+) -> StudySpec:
+    """A Monte-Carlo study spec for one pipeline configuration."""
+    return StudySpec(
+        pipeline=pipeline,
+        variation=variation,
+        analysis=AnalysisSpec(backend="montecarlo", n_samples=n_samples, seed=seed),
+        **spec_kwargs,
+    )
+
+
+def pipeline_study(
+    pipeline: PipelineSpec,
+    variation: VariationSpec,
+    n_samples: int,
+    seed: int,
+    **spec_kwargs,
+) -> Study:
+    """A Monte-Carlo study of one configuration on the shared session."""
+    return Study(
+        study_spec(pipeline, variation, n_samples, seed, **spec_kwargs),
+        session=study_session(),
+    )
+
+
+def characterize(
+    pipeline: PipelineSpec,
+    variation: VariationSpec,
+    n_samples: int,
+    seed: int,
+) -> tuple[DelayReport, DelayReport]:
+    """(Monte-Carlo, analytical-model) report pair from one sampling run.
+
+    This is the comparison every model-verification benchmark makes: the
+    two reports share the cached characterisation, so the analytical
+    columns are Clark's method applied to exactly the samples the
+    Monte-Carlo columns summarise -- the paper's Table I / Fig. 2 setup.
+    """
+    study = pipeline_study(pipeline, variation, n_samples, seed)
+    return study.run(), study.run(backend="analytic")

@@ -2,44 +2,45 @@
 """Quickstart: estimate the delay distribution and yield of a simple pipeline.
 
 This walks the core loop of the paper on the Fig. 1 example shape (a 5-stage
-pipeline):
+pipeline) through the Study API -- the single entrypoint that every figure
+and table of the reproduction uses:
 
-1. build a pipeline of inverter-chain stages in the synthetic 70 nm node,
-2. characterise the per-stage delay distributions with the Monte-Carlo
-   engine (the SPICE stand-in),
-3. feed the stage means / sigmas / correlations into the analytical pipeline
-   delay model (Clark's max approximation, paper section 2.2),
-4. compare the analytical yield estimate with the Monte-Carlo yield
-   (paper section 2.3).
+1. declare the experiment: a pipeline of inverter-chain stages in the
+   synthetic 70 nm node under inter- + intra-die variation (a ``StudySpec``
+   -- pure data, JSON-round-trippable),
+2. run it through the ``montecarlo`` backend (the SPICE stand-in),
+3. ask the *same* question of the ``analytic`` backend (the paper's Clark
+   model, section 2.2, fed by the cached characterisation) and of the
+   ``ssta`` backend (canonical-form SSTA, no sampling at all),
+4. compare the three backends' yield estimates at one target clock period
+   (paper section 2.3) -- one session, one query, three interchangeable
+   engines.
 
 Run:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro import MonteCarloEngine, PipelineDelayModel, VariationModel, inverter_chain_pipeline
+from repro import AnalysisSpec, PipelineSpec, Study, VariationSpec
 from repro.analysis.reporting import format_table
-from repro.core.yield_model import yield_correlated
 
 
 def main() -> None:
     # A 5-stage pipeline, each stage an 8-deep inverter chain (the paper's
-    # "5 x 8" model-verification configuration).
-    pipeline = inverter_chain_pipeline(n_stages=5, logic_depth=8)
-
-    # Inter-die + intra-die (random and spatially correlated) variation.
-    variation = VariationModel.combined()
+    # "5 x 8" model-verification configuration), under inter-die + intra-die
+    # (random and spatially correlated) variation.
+    study = Study(
+        pipeline=PipelineSpec(kind="inverter_chain", n_stages=5, logic_depth=8),
+        variation=VariationSpec.combined(),
+        analysis=AnalysisSpec(backend="montecarlo", n_samples=5000, seed=1),
+    )
 
     # --- 1. Monte-Carlo characterisation (the SPICE stand-in) -------------
-    engine = MonteCarloEngine(variation, n_samples=5000, seed=1)
-    mc = engine.run_pipeline(pipeline)
-
-    rows = []
-    for name in mc.stage_names:
-        stage = mc.stage_result(name)
-        rows.append([name, stage.mean * 1e12, stage.std * 1e12, stage.variability])
+    mc = study.run()
+    rows = [
+        [name, mean * 1e12, std * 1e12, std / mean]
+        for name, mean, std in zip(mc.stage_names, mc.stage_means, mc.stage_stds)
+    ]
     print(format_table(
         ["stage", "mean (ps)", "sigma (ps)", "sigma/mu"],
         rows,
@@ -47,29 +48,32 @@ def main() -> None:
     ))
     print()
 
-    # --- 2. Analytical pipeline delay distribution -------------------------
-    stages = mc.stage_distributions()
-    correlations = mc.correlation_matrix()
-    model = PipelineDelayModel(stages, correlations)
-    estimate = model.estimate()
-    pipeline_mc = mc.pipeline_result()
+    # --- 2. The same question through the model backends -------------------
+    # "analytic" = the paper's model: Clark's max over the (cached)
+    # Monte-Carlo-characterised stages.  "ssta" = canonical-form SSTA,
+    # no sampling anywhere.  Both return the same typed DelayReport.
+    model = study.run(backend="analytic")
+    ssta = study.run(backend="ssta")
 
     print(format_table(
-        ["quantity", "Monte-Carlo", "analytical model"],
+        ["quantity", "Monte-Carlo", "analytical model", "SSTA"],
         [
-            ["pipeline mean (ps)", pipeline_mc.mean * 1e12, estimate.mean * 1e12],
-            ["pipeline sigma (ps)", pipeline_mc.std * 1e12, estimate.std * 1e12],
-            ["sigma/mu", pipeline_mc.variability, estimate.variability],
+            ["pipeline mean (ps)", mc.pipeline_mean * 1e12,
+             model.pipeline_mean * 1e12, ssta.pipeline_mean * 1e12],
+            ["pipeline sigma (ps)", mc.pipeline_std * 1e12,
+             model.pipeline_std * 1e12, ssta.pipeline_std * 1e12],
+            ["sigma/mu", mc.variability, model.variability, ssta.variability],
         ],
         title="Pipeline delay: T_P = max_i SD_i",
     ))
     print()
 
     # --- 3. Yield at a target clock period ---------------------------------
-    target = float(np.quantile(mc.pipeline_samples, 0.85))
+    target = mc.delay_at_yield(0.85)
     rows = [
         ["Monte-Carlo", 100.0 * mc.yield_at(target)],
-        ["Gaussian T_P approximation (eq. 9)", 100.0 * yield_correlated(stages, target, correlations)],
+        ["Gaussian T_P approximation (eq. 9)", 100.0 * model.yield_at(target)],
+        ["canonical-form SSTA", 100.0 * ssta.yield_at(target)],
     ]
     print(format_table(
         ["estimator", f"yield @ {target * 1e12:.1f} ps (%)"],
@@ -79,7 +83,7 @@ def main() -> None:
     print()
     print(
         "The clock period this pipeline can run at with 90 % yield is "
-        f"{estimate.delay_at_yield(0.90) * 1e12:.1f} ps."
+        f"{model.delay_at_yield(0.90) * 1e12:.1f} ps."
     )
 
 

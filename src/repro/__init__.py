@@ -30,8 +30,17 @@ optimize
 analysis
     Histogram, error-metric and report-formatting helpers shared by the
     benchmark harness.
+api
+    The unified Study API: declarative experiment specs, pluggable
+    delay-analysis backends behind one :class:`DelayReport`, cached
+    sessions and the scenario-sweep runner.  This facade is the preferred
+    entrypoint; the subpackages above remain the building blocks.
 """
 
+from repro.api.backends import DelayReport, available_backends, register_backend
+from repro.api.session import Session, Study, run_study
+from repro.api.spec import AnalysisSpec, PipelineSpec, StudySpec, VariationSpec
+from repro.api.sweep import ScenarioSweep, SweepResult, run_sweep
 from repro.core.pipeline_delay import PipelineDelayEstimate, PipelineDelayModel
 from repro.core.stage_delay import StageDelayDistribution
 from repro.core.yield_model import (
@@ -55,6 +64,19 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    "AnalysisSpec",
+    "DelayReport",
+    "PipelineSpec",
+    "ScenarioSweep",
+    "Session",
+    "Study",
+    "StudySpec",
+    "SweepResult",
+    "VariationSpec",
+    "available_backends",
+    "register_backend",
+    "run_study",
+    "run_sweep",
     "StageDelayDistribution",
     "PipelineDelayModel",
     "PipelineDelayEstimate",

@@ -1,0 +1,69 @@
+"""Unified Study API: declarative specs, pluggable backends, cached sessions.
+
+This package is the one entrypoint for "analyse a pipeline under process
+variation and query delay/yield" -- the loop every figure and table of the
+paper runs.  It is organised as four layers:
+
+:mod:`repro.api.spec`
+    Frozen, validated, JSON-round-trippable experiment descriptions
+    (:class:`PipelineSpec`, :class:`VariationSpec`, :class:`AnalysisSpec`,
+    :class:`StudySpec`).
+:mod:`repro.api.backends`
+    The :class:`DelayAnalysisBackend` protocol, the backend registry
+    (``montecarlo`` / ``analytic`` / ``ssta``) and the common typed
+    :class:`DelayReport` every backend returns.
+:mod:`repro.api.session`
+    :class:`Session` (caches pipelines, timing schedules, Monte-Carlo
+    characterisations and SSTA engines across queries, with
+    ``SeedSequence``-based RNG streams), :class:`Study` and
+    :func:`run_study`.
+:mod:`repro.api.sweep`
+    :class:`ScenarioSweep` / :func:`run_sweep`: grid and zip sweeps over
+    spec axes with streaming results and optional process-parallel fan-out.
+"""
+
+from repro.api.backends import (
+    AnalyticBackend,
+    DelayAnalysisBackend,
+    DelayReport,
+    MonteCarloBackend,
+    SSTABackend,
+    available_backends,
+    get_backend,
+    register_backend,
+)
+from repro.api.session import Session, Study, derive_seed, run_study
+from repro.api.spec import (
+    AnalysisSpec,
+    PipelineSpec,
+    StudySpec,
+    VariationSpec,
+    pipeline_kinds,
+    register_pipeline_kind,
+)
+from repro.api.sweep import ScenarioSweep, SweepPoint, SweepResult, run_sweep
+
+__all__ = [
+    "AnalysisSpec",
+    "AnalyticBackend",
+    "DelayAnalysisBackend",
+    "DelayReport",
+    "MonteCarloBackend",
+    "PipelineSpec",
+    "SSTABackend",
+    "ScenarioSweep",
+    "Session",
+    "Study",
+    "StudySpec",
+    "SweepPoint",
+    "SweepResult",
+    "VariationSpec",
+    "available_backends",
+    "derive_seed",
+    "get_backend",
+    "pipeline_kinds",
+    "register_backend",
+    "register_pipeline_kind",
+    "run_study",
+    "run_sweep",
+]

@@ -1,0 +1,322 @@
+"""Sessions and studies: the cached entrypoint of the Study API.
+
+A :class:`Session` owns every expensive intermediate the backends need --
+built pipelines (whose netlists carry their compiled
+:class:`~repro.circuit.schedule.TimingSchedule`), Monte-Carlo
+characterisations and SSTA engines -- keyed by the frozen specs that
+describe them, so repeated queries (or many sweep points differing only in
+one axis) reuse structure instead of rebuilding it.
+
+A :class:`Study` binds one :class:`~repro.api.spec.StudySpec` to a session
+and is the object most callers touch::
+
+    from repro import Study, PipelineSpec, VariationSpec, AnalysisSpec
+
+    study = Study(
+        pipeline=PipelineSpec(n_stages=5, logic_depth=8),
+        variation=VariationSpec.combined(),
+        analysis=AnalysisSpec(backend="montecarlo", n_samples=5000, seed=1),
+    )
+    report = study.run()                       # DelayReport
+    ssta = study.with_backend("ssta").run()    # same question, no sampling
+    clock = report.delay_at_yield(0.90)
+
+RNG hygiene: every sampled run derives its generator from a
+:class:`numpy.random.SeedSequence`, and :func:`derive_seed` spawns
+independent child streams per sweep point, so results are reproducible and
+statistically independent regardless of execution order or process-level
+parallelism.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.api.backends import DelayReport, available_backends, get_backend
+from repro.api.spec import AnalysisSpec, PipelineSpec, StudySpec, VariationSpec
+from repro.montecarlo.engine import MonteCarloEngine
+from repro.montecarlo.results import PipelineMonteCarloResult
+from repro.pipeline.pipeline import Pipeline
+from repro.process.technology import Technology, default_technology
+from repro.process.variation import VariationModel
+from repro.timing.ssta import StatisticalTimingAnalyzer
+
+DEFAULT_ROOT_SEED = 2005
+
+
+def derive_seed(root_seed: int, *branch: int) -> int:
+    """Derive an independent child seed from a root seed and a branch path.
+
+    Uses ``numpy.random.SeedSequence`` spawning, so two distinct branch
+    paths yield statistically independent streams and the mapping depends
+    only on ``(root_seed, branch)`` -- never on execution order, thread or
+    process id.
+    """
+    sequence = np.random.SeedSequence(int(root_seed), spawn_key=tuple(int(b) for b in branch))
+    return int(sequence.generate_state(1, dtype=np.uint64)[0])
+
+
+class Session:
+    """Caches built pipelines, characterisations and engines across queries.
+
+    Parameters
+    ----------
+    technology:
+        Technology node shared by every query (defaults to the synthetic
+        70 nm node).
+    root_seed:
+        Seed used when an :class:`AnalysisSpec` leaves ``seed=None``.
+
+    Notes
+    -----
+    Cached pipelines are shared between queries; treat them as read-only
+    and ``copy()`` before handing one to an optimizer that resizes gates.
+    """
+
+    def __init__(
+        self, technology: Technology | None = None, root_seed: int = DEFAULT_ROOT_SEED
+    ) -> None:
+        self.technology = technology if technology is not None else default_technology()
+        self.root_seed = int(root_seed)
+        self._pipelines: dict[PipelineSpec, Pipeline] = {}
+        self._variations: dict[VariationSpec, VariationModel] = {}
+        self._mc_runs: dict[tuple, PipelineMonteCarloResult] = {}
+        self._analyzers: dict[tuple, StatisticalTimingAnalyzer] = {}
+        self._reports: dict[tuple, DelayReport] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # ------------------------------------------------------------------
+    # Cached intermediates
+    # ------------------------------------------------------------------
+    def pipeline(self, spec: PipelineSpec) -> Pipeline:
+        """Build (or fetch) the pipeline described by ``spec``.
+
+        Building compiles every stage netlist's levelized timing schedule
+        once, so later STA/SSTA/Monte-Carlo queries over the same spec skip
+        straight to propagation.
+        """
+        pipeline = self._pipelines.get(spec)
+        if pipeline is None:
+            pipeline = spec.build(self.technology)
+            for stage in pipeline.stages:
+                stage.netlist.timing_schedule()
+            self._pipelines[spec] = pipeline
+        return pipeline
+
+    def variation(self, spec: VariationSpec) -> VariationModel:
+        """Build (or fetch) the variation model described by ``spec``."""
+        model = self._variations.get(spec)
+        if model is None:
+            model = spec.build()
+            self._variations[spec] = model
+        return model
+
+    def resolve_seed(self, analysis: AnalysisSpec) -> int:
+        """The concrete seed a sampled run uses for this analysis spec."""
+        return self.root_seed if analysis.seed is None else int(analysis.seed)
+
+    def montecarlo_run(
+        self,
+        pipeline_spec: PipelineSpec,
+        variation_spec: VariationSpec,
+        analysis: AnalysisSpec,
+    ) -> PipelineMonteCarloResult:
+        """Monte-Carlo characterisation, cached by everything that affects it.
+
+        The cache key deliberately excludes ``analysis.backend`` (and the
+        Clark ordering), so the ``montecarlo`` and ``analytic`` backends
+        share one characterisation -- the paper's model-vs-simulation
+        comparison out of a single sampling run.
+        """
+        seed = self.resolve_seed(analysis)
+        key = (
+            pipeline_spec,
+            variation_spec,
+            analysis.n_samples,
+            seed,
+            analysis.grid_size,
+            analysis.chunk_size,
+        )
+        run = self._mc_runs.get(key)
+        if run is None:
+            self.cache_misses += 1
+            engine = MonteCarloEngine(
+                self.variation(variation_spec),
+                technology=self.technology,
+                n_samples=analysis.n_samples,
+                seed=seed,
+                grid_size=analysis.grid_size,
+                chunk_size=analysis.chunk_size,
+            )
+            run = engine.run_pipeline(self.pipeline(pipeline_spec))
+            self._mc_runs[key] = run
+        else:
+            self.cache_hits += 1
+        return run
+
+    def analyzer(
+        self, variation_spec: VariationSpec, analysis: AnalysisSpec
+    ) -> StatisticalTimingAnalyzer:
+        """SSTA engine for a variation model, cached by its factor basis."""
+        key = (variation_spec, analysis.grid_size, analysis.variance_coverage)
+        analyzer = self._analyzers.get(key)
+        if analyzer is None:
+            analyzer = StatisticalTimingAnalyzer(
+                self.technology,
+                self.variation(variation_spec),
+                grid_size=analysis.grid_size,
+                variance_coverage=analysis.variance_coverage,
+            )
+            self._analyzers[key] = analyzer
+        return analyzer
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def analyze(self, study: StudySpec, backend: str | None = None) -> DelayReport:
+        """Answer a study spec with its (or an overridden) backend."""
+        if backend is not None:
+            study = study.with_backend(backend)
+        key = (study.pipeline, study.variation, study.analysis)
+        report = self._reports.get(key)
+        if report is None:
+            report = get_backend(study.analysis.backend).analyze(self, study)
+            self._reports[key] = report
+        return report
+
+    def yield_at(
+        self, study: StudySpec, target_delay: float, backend: str | None = None
+    ) -> float:
+        """Yield at a target clock period through any registered backend."""
+        return self.analyze(study, backend=backend).yield_at(target_delay)
+
+    def delay_at_yield(
+        self, study: StudySpec, target_yield: float, backend: str | None = None
+    ) -> float:
+        """Clock period achieving a target yield through any backend."""
+        return self.analyze(study, backend=backend).delay_at_yield(target_yield)
+
+    def clear(self) -> None:
+        """Drop every cached intermediate and report."""
+        self._pipelines.clear()
+        self._variations.clear()
+        self._mc_runs.clear()
+        self._analyzers.clear()
+        self._reports.clear()
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+
+class Study:
+    """One declarative experiment bound to a (possibly shared) session.
+
+    Construct from a full :class:`StudySpec` or from its parts::
+
+        Study(pipeline=PipelineSpec(n_stages=12, logic_depth=10),
+              variation=VariationSpec.combined(),
+              analysis=AnalysisSpec(n_samples=4000, seed=2005))
+    """
+
+    def __init__(
+        self,
+        spec: StudySpec | None = None,
+        *,
+        pipeline: PipelineSpec | None = None,
+        variation: VariationSpec | None = None,
+        analysis: AnalysisSpec | None = None,
+        target_yield: float | None = None,
+        target_quantile: float | None = None,
+        name: str | None = None,
+        session: Session | None = None,
+    ) -> None:
+        if spec is None:
+            spec = StudySpec(
+                pipeline=pipeline if pipeline is not None else PipelineSpec(),
+                variation=variation if variation is not None else VariationSpec(),
+                analysis=analysis if analysis is not None else AnalysisSpec(),
+                target_yield=target_yield,
+                target_quantile=target_quantile,
+                name=name if name is not None else "",
+            )
+        elif any(
+            part is not None
+            for part in (
+                pipeline, variation, analysis, target_yield, target_quantile, name,
+            )
+        ):
+            raise ValueError("pass either a full spec or its parts, not both")
+        self.spec = spec
+        self.session = session if session is not None else Session()
+
+    # -- construction helpers -------------------------------------------
+    @classmethod
+    def from_json(cls, text: str, session: Session | None = None) -> "Study":
+        """Rehydrate a study from a :meth:`StudySpec.to_json` payload."""
+        return cls(StudySpec.from_json(text), session=session)
+
+    def to_json(self, indent: int | None = None) -> str:
+        """Serialise the underlying spec."""
+        return self.spec.to_json(indent=indent)
+
+    def with_backend(self, backend: str) -> "Study":
+        """Same experiment through a different backend, sharing the session."""
+        return Study(self.spec.with_backend(backend), session=self.session)
+
+    def replace(self, **changes) -> "Study":
+        """New study with top-level spec fields replaced, sharing the session."""
+        return Study(self.spec.replace(**changes), session=self.session)
+
+    # -- queries ---------------------------------------------------------
+    def run(self, backend: str | None = None) -> DelayReport:
+        """Run (or fetch from the session cache) this study's report."""
+        return self.session.analyze(self.spec, backend=backend)
+
+    def reports(
+        self, backends: tuple[str, ...] | None = None
+    ) -> dict[str, DelayReport]:
+        """Reports from several backends answering the same question."""
+        names = backends if backends is not None else available_backends()
+        return {name: self.run(backend=name) for name in names}
+
+    def yield_at(self, target_delay: float, backend: str | None = None) -> float:
+        """Yield at a target clock period."""
+        return self.run(backend=backend).yield_at(target_delay)
+
+    def delay_at_yield(self, target_yield: float, backend: str | None = None) -> float:
+        """Clock period achieving a target yield."""
+        return self.run(backend=backend).delay_at_yield(target_yield)
+
+    def sweep(self, axes, mode: str = "grid", seed_policy: str = "spawn"):
+        """A :class:`~repro.api.sweep.ScenarioSweep` over this study's spec.
+
+        The sweep is bound to this study's session, so points that coincide
+        with already-answered queries reuse the cached structure.
+        """
+        from repro.api.sweep import ScenarioSweep
+
+        return ScenarioSweep(
+            self.spec, axes, mode=mode, seed_policy=seed_policy, session=self.session
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        spec = self.spec
+        return (
+            f"Study({spec.pipeline.kind!r}, backend={spec.analysis.backend!r}, "
+            f"name={spec.name!r})"
+        )
+
+
+def run_study(
+    study: StudySpec | Study,
+    session: Session | None = None,
+    backend: str | None = None,
+) -> DelayReport:
+    """One-shot facade: run a study spec (or Study) and return its report."""
+    if isinstance(study, Study):
+        if session is not None and session is not study.session:
+            return session.analyze(study.spec, backend=backend)
+        return study.run(backend=backend)
+    if session is None:
+        session = Session()
+    return session.analyze(study, backend=backend)

@@ -1,0 +1,452 @@
+"""Declarative experiment specifications for the Study API.
+
+The paper's experiments all reduce to one sentence: *build this pipeline,
+characterise it under this variation model with this analysis method, then
+query delay and yield*.  The spec classes in this module say exactly that --
+**what** to analyse, never **how** -- as frozen, validated, hashable
+dataclasses that round-trip through JSON:
+
+* :class:`PipelineSpec` -- which pipeline topology to build (inverter
+  chains, the ALU/decoder pipeline, the ISCAS85 pipeline, or any registered
+  custom kind),
+* :class:`VariationSpec` -- the three-component process-variation
+  configuration, plus a global ``sigma_scale`` knob for sensitivity sweeps,
+* :class:`AnalysisSpec` -- which analysis backend answers the query
+  (``"montecarlo"``, ``"ssta"``, ``"analytic"``) and its sampling/seeding
+  parameters,
+* :class:`StudySpec` -- the full experiment: pipeline + variation +
+  analysis + optional yield/quantile targets.
+
+Because every spec is frozen and hashable it doubles as a cache key: the
+:class:`repro.api.session.Session` memoises built pipelines, Monte-Carlo
+characterisations and SSTA engines by spec, and the sweep runner
+(:mod:`repro.api.sweep`) derives new specs from a base spec axis by axis.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from repro.process.variation import VariationModel
+
+_ORDERINGS = ("increasing", "decreasing", "given")
+
+
+# ----------------------------------------------------------------------
+# JSON helpers shared by every spec class
+# ----------------------------------------------------------------------
+def _jsonable(value: Any) -> Any:
+    """Convert a spec field value to plain JSON types (tuples -> lists)."""
+    if isinstance(value, tuple):
+        return [_jsonable(item) for item in value]
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return value.to_dict() if hasattr(value, "to_dict") else dataclasses.asdict(value)
+    return value
+
+
+def _spec_to_dict(spec: Any) -> dict[str, Any]:
+    """Field dictionary of a spec instance with JSON-safe values."""
+    return {
+        f.name: _jsonable(getattr(spec, f.name)) for f in dataclasses.fields(spec)
+    }
+
+
+def _check_fields(cls: type, data: Mapping[str, Any]) -> None:
+    known = {f.name for f in dataclasses.fields(cls)}
+    unknown = set(data) - known
+    if unknown:
+        raise ValueError(
+            f"unknown {cls.__name__} field(s): {sorted(unknown)}; known: {sorted(known)}"
+        )
+
+
+def _as_depth(value: Any) -> int | tuple[int, ...]:
+    """Coerce a logic-depth field (int or sequence of ints) to hashable form."""
+    if isinstance(value, (list, tuple)):
+        return tuple(int(v) for v in value)
+    return int(value)
+
+
+# ----------------------------------------------------------------------
+# Pipeline specification
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PipelineSpec:
+    """What pipeline to build, independent of how it is built.
+
+    Parameters
+    ----------
+    kind:
+        Registered pipeline family.  Built in: ``"inverter_chain"`` (the
+        ``N_S x N_L`` model-verification pipelines), ``"alu_decoder"``
+        (Fig. 6) and ``"iscas"`` (Tables II/III).  New kinds can be added
+        with :func:`register_pipeline_kind`.
+    n_stages / logic_depth / size:
+        Inverter-chain parameters; ``logic_depth`` is either one depth for
+        every stage or a per-stage tuple (the Table I "5 x var" row).
+    width / n_address:
+        ALU-decoder parameters.
+    benchmarks:
+        ISCAS85 stage names in pipeline order (``None`` for the paper's
+        default c3540/c2670/c1908/c432).
+    name:
+        Optional pipeline name override.
+    """
+
+    kind: str = "inverter_chain"
+    n_stages: int = 5
+    logic_depth: int | tuple[int, ...] = 8
+    size: float = 1.0
+    width: int = 8
+    n_address: int = 4
+    benchmarks: tuple[str, ...] | None = None
+    name: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in _PIPELINE_KINDS:
+            raise ValueError(
+                f"unknown pipeline kind {self.kind!r}; "
+                f"registered kinds: {sorted(_PIPELINE_KINDS)}"
+            )
+        object.__setattr__(self, "logic_depth", _as_depth(self.logic_depth))
+        if self.benchmarks is not None:
+            object.__setattr__(
+                self, "benchmarks", tuple(str(b) for b in self.benchmarks)
+            )
+            if not self.benchmarks:
+                raise ValueError("benchmarks must be None or a non-empty tuple")
+        if self.n_stages < 1:
+            raise ValueError(f"n_stages must be at least 1, got {self.n_stages}")
+        depths = (
+            self.logic_depth
+            if isinstance(self.logic_depth, tuple)
+            else (self.logic_depth,)
+        )
+        if any(depth < 1 for depth in depths):
+            raise ValueError(f"logic depths must be at least 1, got {self.logic_depth}")
+        if isinstance(self.logic_depth, tuple) and len(self.logic_depth) != self.n_stages:
+            raise ValueError(
+                f"got {len(self.logic_depth)} logic depths for {self.n_stages} stages"
+            )
+        if self.size <= 0.0:
+            raise ValueError(f"size must be positive, got {self.size}")
+        if self.width < 1 or self.n_address < 1:
+            raise ValueError(
+                f"width and n_address must be at least 1, got "
+                f"{self.width} / {self.n_address}"
+            )
+
+    def build(self, technology=None):
+        """Construct the described :class:`repro.pipeline.pipeline.Pipeline`."""
+        return _PIPELINE_KINDS[self.kind](self, technology)
+
+    # -- serialisation --------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        return _spec_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PipelineSpec":
+        _check_fields(cls, data)
+        data = dict(data)
+        if "benchmarks" in data and data["benchmarks"] is not None:
+            data["benchmarks"] = tuple(data["benchmarks"])
+        return cls(**data)
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "PipelineSpec":
+        return cls.from_dict(json.loads(text))
+
+
+def _build_inverter_chain(spec: PipelineSpec, technology):
+    from repro.pipeline.builder import inverter_chain_pipeline
+
+    depth = (
+        list(spec.logic_depth)
+        if isinstance(spec.logic_depth, tuple)
+        else spec.logic_depth
+    )
+    return inverter_chain_pipeline(
+        spec.n_stages, depth, name=spec.name, size=spec.size, technology=technology
+    )
+
+
+def _build_alu_decoder(spec: PipelineSpec, technology):
+    from repro.pipeline.builder import alu_decoder_pipeline
+
+    kwargs = {} if spec.name is None else {"name": spec.name}
+    return alu_decoder_pipeline(
+        width=spec.width, n_address=spec.n_address, technology=technology, **kwargs
+    )
+
+
+def _build_iscas(spec: PipelineSpec, technology):
+    from repro.pipeline.builder import iscas_pipeline
+
+    kwargs = {} if spec.name is None else {"name": spec.name}
+    return iscas_pipeline(
+        benchmarks=list(spec.benchmarks) if spec.benchmarks is not None else None,
+        technology=technology,
+        **kwargs,
+    )
+
+
+_PIPELINE_KINDS: dict[str, Callable[[PipelineSpec, Any], Any]] = {
+    "inverter_chain": _build_inverter_chain,
+    "alu_decoder": _build_alu_decoder,
+    "iscas": _build_iscas,
+}
+
+
+def register_pipeline_kind(
+    kind: str, factory: Callable[[PipelineSpec, Any], Any], *, replace: bool = False
+) -> None:
+    """Register a custom pipeline family for :class:`PipelineSpec`.
+
+    ``factory(spec, technology)`` must return a built ``Pipeline``.
+    """
+    if not kind or not isinstance(kind, str):
+        raise ValueError(f"kind must be a non-empty string, got {kind!r}")
+    if kind in _PIPELINE_KINDS and not replace:
+        raise ValueError(f"pipeline kind {kind!r} is already registered")
+    _PIPELINE_KINDS[kind] = factory
+
+
+def pipeline_kinds() -> tuple[str, ...]:
+    """Names of all registered pipeline kinds."""
+    return tuple(sorted(_PIPELINE_KINDS))
+
+
+# ----------------------------------------------------------------------
+# Variation specification
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class VariationSpec:
+    """Declarative mirror of :class:`repro.process.variation.VariationModel`.
+
+    Field meanings match the model one to one; ``sigma_scale`` additionally
+    multiplies every sigma (but not the correlation length), which turns
+    "how does everything degrade as variation grows 0.5x..2x" into a single
+    sweepable axis.
+    """
+
+    sigma_vth_inter: float = 0.020
+    sigma_vth_random: float = 0.025
+    sigma_vth_systematic: float = 0.012
+    correlation_length: float = 0.5
+    sigma_l_inter: float = 0.02
+    sigma_l_systematic: float = 0.01
+    sigma_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.sigma_scale < 0.0:
+            raise ValueError(f"sigma_scale must be non-negative, got {self.sigma_scale}")
+        # Delegate range validation of the raw sigmas to the model itself.
+        self.build()
+
+    # -- named configurations (mirror the VariationModel presets) -------
+    @classmethod
+    def from_model(cls, model: VariationModel, sigma_scale: float = 1.0) -> "VariationSpec":
+        """Capture an existing :class:`VariationModel` as a spec."""
+        return cls(
+            sigma_vth_inter=model.sigma_vth_inter,
+            sigma_vth_random=model.sigma_vth_random,
+            sigma_vth_systematic=model.sigma_vth_systematic,
+            correlation_length=model.correlation_length,
+            sigma_l_inter=model.sigma_l_inter,
+            sigma_l_systematic=model.sigma_l_systematic,
+            sigma_scale=sigma_scale,
+        )
+
+    @classmethod
+    def intra_random_only(cls, sigma_vth_random: float = 0.025) -> "VariationSpec":
+        """Only random intra-die variation (independent stages)."""
+        return cls.from_model(VariationModel.intra_random_only(sigma_vth_random))
+
+    @classmethod
+    def inter_only(cls, sigma_vth_inter: float = 0.040) -> "VariationSpec":
+        """Only inter-die variation (perfectly correlated stages)."""
+        return cls.from_model(VariationModel.inter_only(sigma_vth_inter))
+
+    @classmethod
+    def combined(cls, **kwargs: float) -> "VariationSpec":
+        """Inter- plus intra-die variation (partially correlated stages)."""
+        return cls.from_model(VariationModel.combined(**kwargs))
+
+    # -- construction ----------------------------------------------------
+    def build(self) -> VariationModel:
+        """Construct the concrete :class:`VariationModel` (sigmas scaled)."""
+        s = self.sigma_scale
+        return VariationModel(
+            sigma_vth_inter=self.sigma_vth_inter * s,
+            sigma_vth_random=self.sigma_vth_random * s,
+            sigma_vth_systematic=self.sigma_vth_systematic * s,
+            correlation_length=self.correlation_length,
+            sigma_l_inter=self.sigma_l_inter * s,
+            sigma_l_systematic=self.sigma_l_systematic * s,
+        )
+
+    def scaled(self, sigma_scale: float) -> "VariationSpec":
+        """Copy of this spec with a different global sigma scale."""
+        return dataclasses.replace(self, sigma_scale=sigma_scale)
+
+    # -- serialisation --------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        return _spec_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "VariationSpec":
+        _check_fields(cls, data)
+        return cls(**data)
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "VariationSpec":
+        return cls.from_dict(json.loads(text))
+
+
+# ----------------------------------------------------------------------
+# Analysis specification
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class AnalysisSpec:
+    """Which backend answers the delay/yield query, and with what knobs.
+
+    Parameters
+    ----------
+    backend:
+        Registered backend name.  Built in: ``"montecarlo"`` (sampled ground
+        truth), ``"analytic"`` (the paper's model: Clark's max over
+        Monte-Carlo-characterised stages) and ``"ssta"`` (canonical-form
+        SSTA, no sampling at all).  Validated against the registry when the
+        backend is resolved, so third-party backends registered via
+        :func:`repro.api.backends.register_backend` work transparently.
+    n_samples / seed / chunk_size:
+        Monte-Carlo sampling parameters (ignored by ``"ssta"``).  ``seed``
+        may be ``None``, in which case the session's root seed is used.
+    grid_size:
+        Spatial-correlation grid resolution (all backends).
+    variance_coverage:
+        Fraction of spatial variance the SSTA factor basis must explain.
+    ordering:
+        Clark pairwise-reduction ordering for the model backends.
+    """
+
+    backend: str = "montecarlo"
+    n_samples: int = 2000
+    seed: int | None = 2005
+    grid_size: int = 8
+    chunk_size: int | None = None
+    variance_coverage: float = 0.995
+    ordering: str = "increasing"
+
+    def __post_init__(self) -> None:
+        if not self.backend or not isinstance(self.backend, str):
+            raise ValueError(f"backend must be a non-empty string, got {self.backend!r}")
+        if self.n_samples < 2:
+            raise ValueError(f"n_samples must be at least 2, got {self.n_samples}")
+        if self.seed is not None and self.seed < 0:
+            raise ValueError(f"seed must be None or non-negative, got {self.seed}")
+        if self.grid_size < 1:
+            raise ValueError(f"grid_size must be at least 1, got {self.grid_size}")
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ValueError(f"chunk_size must be None or >= 1, got {self.chunk_size}")
+        if not 0.0 < self.variance_coverage <= 1.0:
+            raise ValueError(
+                f"variance_coverage must be in (0, 1], got {self.variance_coverage}"
+            )
+        if self.ordering not in _ORDERINGS:
+            raise ValueError(
+                f"ordering must be one of {_ORDERINGS}, got {self.ordering!r}"
+            )
+
+    def with_backend(self, backend: str) -> "AnalysisSpec":
+        """Copy of this spec pointed at a different backend."""
+        return dataclasses.replace(self, backend=backend)
+
+    def with_seed(self, seed: int | None) -> "AnalysisSpec":
+        """Copy of this spec with a different RNG seed."""
+        return dataclasses.replace(self, seed=seed)
+
+    # -- serialisation --------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        return _spec_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "AnalysisSpec":
+        _check_fields(cls, data)
+        return cls(**data)
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "AnalysisSpec":
+        return cls.from_dict(json.loads(text))
+
+
+# ----------------------------------------------------------------------
+# Study specification
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class StudySpec:
+    """One complete experiment: pipeline + variation + analysis + targets.
+
+    ``target_yield`` (a probability) and ``target_quantile`` (a position in
+    the delay distribution used to pick a clock-period target, as the
+    Table I rows do) are optional query parameters carried with the spec so
+    a sweep can vary them like any other axis.
+    """
+
+    pipeline: PipelineSpec = field(default_factory=PipelineSpec)
+    variation: VariationSpec = field(default_factory=VariationSpec)
+    analysis: AnalysisSpec = field(default_factory=AnalysisSpec)
+    target_yield: float | None = None
+    target_quantile: float | None = None
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        for label, value in (
+            ("target_yield", self.target_yield),
+            ("target_quantile", self.target_quantile),
+        ):
+            if value is not None and not 0.0 < value < 1.0:
+                raise ValueError(f"{label} must be in (0, 1), got {value}")
+
+    def with_backend(self, backend: str) -> "StudySpec":
+        """Copy of this study pointed at a different analysis backend."""
+        return dataclasses.replace(self, analysis=self.analysis.with_backend(backend))
+
+    def replace(self, **changes: Any) -> "StudySpec":
+        """``dataclasses.replace`` convenience for sweep/axis code."""
+        return dataclasses.replace(self, **changes)
+
+    # -- serialisation --------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        return _spec_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "StudySpec":
+        _check_fields(cls, data)
+        data = dict(data)
+        if "pipeline" in data and isinstance(data["pipeline"], Mapping):
+            data["pipeline"] = PipelineSpec.from_dict(data["pipeline"])
+        if "variation" in data and isinstance(data["variation"], Mapping):
+            data["variation"] = VariationSpec.from_dict(data["variation"])
+        if "analysis" in data and isinstance(data["analysis"], Mapping):
+            data["analysis"] = AnalysisSpec.from_dict(data["analysis"])
+        return cls(**data)
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "StudySpec":
+        return cls.from_dict(json.loads(text))

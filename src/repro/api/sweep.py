@@ -1,0 +1,376 @@
+"""Vectorized scenario sweeps over study-spec axes.
+
+A sweep is "this base study, but vary these knobs": stage count, logic
+depth, variation mix, sigma scaling, sample count, backend, yield target --
+any field of the nested :class:`~repro.api.spec.StudySpec` addressed by a
+dotted path::
+
+    sweep = ScenarioSweep(
+        base_spec,
+        axes={
+            "pipeline.n_stages": [4, 8, 12, 16],
+            "variation.sigma_vth_inter": [0.0, 0.020, 0.040],
+        },
+    )
+    for point in sweep.iter_results():          # streams as computed
+        print(point.coords, point.report.variability)
+    result = sweep.run(n_jobs=4)                # optional process fan-out
+
+``mode="grid"`` takes the Cartesian product of the axes (the default);
+``mode="zip"`` pairs them elementwise like :func:`zip`.  Points reuse the
+session's cached pipelines, schedules and engines wherever specs coincide,
+and each sampled point gets an independent child seed via
+``numpy.random.SeedSequence`` spawning (see :func:`repro.api.session.derive_seed`)
+unless ``seed_policy="fixed"`` pins the base seed everywhere -- reproducible
+either way, independent of execution order and parallelism.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from dataclasses import dataclass
+from typing import Any, Iterator, Mapping, Sequence
+
+from repro.analysis.reporting import format_table
+from repro.api.backends import DelayReport
+from repro.api.session import Session, derive_seed
+from repro.api.spec import StudySpec
+
+_SECTIONS = ("pipeline", "variation", "analysis")
+_SEED_POLICIES = ("spawn", "fixed")
+
+
+def apply_axis(spec: StudySpec, path: str, value: Any) -> StudySpec:
+    """Return ``spec`` with the field addressed by ``path`` set to ``value``.
+
+    Paths are ``"section.field"`` for the nested specs (``pipeline.n_stages``,
+    ``variation.sigma_scale``, ``analysis.backend``...) or a bare top-level
+    ``StudySpec`` field name (``target_yield``, ``name``).
+    """
+    section, _, field_name = path.partition(".")
+    if not field_name:
+        return spec.replace(**{section: value})
+    if section == "study":
+        return spec.replace(**{field_name: value})
+    if section not in _SECTIONS:
+        raise ValueError(
+            f"axis path {path!r} must start with one of {_SECTIONS + ('study',)} "
+            "or name a top-level StudySpec field"
+        )
+    part = dataclasses.replace(getattr(spec, section), **{field_name: value})
+    return spec.replace(**{section: part})
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One evaluated sweep point: its coordinates, derived spec and report."""
+
+    index: int
+    coords: tuple[tuple[str, Any], ...]
+    spec: StudySpec
+    report: DelayReport
+
+    def coord(self, path: str) -> Any:
+        """Value of one axis at this point."""
+        for key, value in self.coords:
+            if key == path:
+                return value
+        raise KeyError(f"no axis {path!r} at this point; axes: "
+                       f"{tuple(key for key, _ in self.coords)}")
+
+    def record(self) -> dict[str, Any]:
+        """Flat dict of coordinates plus the report's scalar summary."""
+        row = {key: value for key, value in self.coords}
+        row.update(self.report.summary())
+        if self.spec.target_yield is not None:
+            row["delay_at_target_yield"] = self.report.delay_at_yield(
+                self.spec.target_yield
+            )
+        return row
+
+
+class SweepResult:
+    """Ordered collection of sweep points with tabular conveniences."""
+
+    def __init__(self, points: Sequence[SweepPoint]) -> None:
+        self.points = sorted(points, key=lambda point: point.index)
+
+    def __iter__(self) -> Iterator[SweepPoint]:
+        return iter(self.points)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __getitem__(self, index: int) -> SweepPoint:
+        return self.points[index]
+
+    def reports(self) -> list[DelayReport]:
+        """The per-point reports in sweep order."""
+        return [point.report for point in self.points]
+
+    def to_records(self) -> list[dict[str, Any]]:
+        """Flat records (coords + summary stats), one per point."""
+        return [point.record() for point in self.points]
+
+    def format(self, title: str | None = None) -> str:
+        """Plain-text table of the sweep, via the shared report formatter."""
+        records = self.to_records()
+        if not records:
+            return "(empty sweep)"
+        headers: list[str] = []
+        for record in records:
+            headers.extend(key for key in record if key not in headers)
+        rows = [[record.get(h, "-") for h in headers] for record in records]
+        return format_table(headers, rows, title=title)
+
+
+class ScenarioSweep:
+    """Grid or zip sweep of a base study spec over named axes.
+
+    Parameters
+    ----------
+    base:
+        The study every point derives from.
+    axes:
+        Mapping of dotted field path -> values (insertion order defines the
+        grid's axis order).
+    mode:
+        ``"grid"`` for the Cartesian product, ``"zip"`` for elementwise
+        pairing (all axes must then have equal length).
+    seed_policy:
+        ``"spawn"`` (default) derives an independent seed per point from the
+        base seed via ``SeedSequence`` spawning, branching on the point's
+        position along every *non-backend* axis -- so points that differ
+        only in ``analysis.backend`` keep the same seed and share one cached
+        characterisation (the model-vs-Monte-Carlo comparison), while every
+        other point gets its own stream.  ``"fixed"`` keeps the base
+        analysis seed everywhere, which is what paper-reproduction sweeps
+        use so a point's samples match a standalone run.  An explicit
+        ``analysis.seed`` axis always wins over either policy.
+    session:
+        Default session for :meth:`run` / :meth:`iter_results`; a sweep
+        created via :meth:`Study.sweep` is bound to the study's session.
+    """
+
+    def __init__(
+        self,
+        base: StudySpec,
+        axes: Mapping[str, Sequence[Any]],
+        mode: str = "grid",
+        seed_policy: str = "spawn",
+        session: Session | None = None,
+    ) -> None:
+        if not axes:
+            raise ValueError("a sweep needs at least one axis")
+        if mode not in ("grid", "zip"):
+            raise ValueError(f"mode must be 'grid' or 'zip', got {mode!r}")
+        if seed_policy not in _SEED_POLICIES:
+            raise ValueError(
+                f"seed_policy must be one of {_SEED_POLICIES}, got {seed_policy!r}"
+            )
+        self.base = base
+        self.axes = {str(path): list(values) for path, values in axes.items()}
+        for path, values in self.axes.items():
+            if not values:
+                raise ValueError(f"axis {path!r} has no values")
+        if mode == "zip":
+            lengths = {len(values) for values in self.axes.values()}
+            if len(lengths) > 1:
+                raise ValueError(
+                    f"zip mode needs equal-length axes, got lengths "
+                    f"{ {p: len(v) for p, v in self.axes.items()} }"
+                )
+        self.mode = mode
+        self.seed_policy = seed_policy
+        self.session = session
+        self._points = self._build_specs()
+
+    # ------------------------------------------------------------------
+    # Spec derivation
+    # ------------------------------------------------------------------
+    def _combinations(self) -> Iterator[tuple[tuple[int, Any], ...]]:
+        """Per-point combinations of ``(value_index, value)`` per axis."""
+        indexed = [list(enumerate(values)) for values in self.axes.values()]
+        if self.mode == "zip":
+            return iter(zip(*indexed))
+        return itertools.product(*indexed)
+
+    def _build_specs(
+        self,
+    ) -> list[tuple[tuple[tuple[str, Any], ...], StudySpec, tuple[int, ...]]]:
+        paths = list(self.axes)
+        points = []
+        for combo in self._combinations():
+            coords = tuple(
+                (path, value) for path, (_, value) in zip(paths, combo)
+            )
+            branch = tuple(
+                value_index
+                for path, (value_index, _) in zip(paths, combo)
+                if path not in ("analysis.backend", "analysis.seed")
+            )
+            spec = self.base
+            for path, value in coords:
+                spec = apply_axis(spec, path, value)
+            spec = self._reseed(spec, branch)
+            points.append((coords, spec, branch))
+        return points
+
+    def _spawning(self, spec: StudySpec) -> bool:
+        return self.seed_policy == "spawn" and "analysis.seed" not in self.axes
+
+    def _reseed(self, spec: StudySpec, branch: tuple[int, ...]) -> StudySpec:
+        """Spawn this point's seed from the base seed (construction time).
+
+        The branch path excludes backend axes, so points differing only in
+        backend share a seed (and therefore the cached Monte-Carlo
+        characterisation).  A ``None`` base seed means "let the session
+        choose" and is resolved against the executing session's root seed in
+        :meth:`_final_spec` instead.
+        """
+        if not self._spawning(spec) or spec.analysis.seed is None:
+            return spec
+        seed = derive_seed(spec.analysis.seed, *branch)
+        return spec.replace(analysis=spec.analysis.with_seed(seed))
+
+    def _final_spec(
+        self, spec: StudySpec, branch: tuple[int, ...], root_seed: int
+    ) -> StudySpec:
+        """Resolve a deferred (None-seed) spawn against the executing session."""
+        if not self._spawning(spec) or spec.analysis.seed is not None:
+            return spec
+        seed = derive_seed(root_seed, *branch)
+        return spec.replace(analysis=spec.analysis.with_seed(seed))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def specs(self) -> list[StudySpec]:
+        """The derived per-point study specs, in sweep order.
+
+        Points whose base seed is ``None`` still show ``seed=None`` here;
+        their concrete seed is spawned from the executing session's root
+        seed when the sweep runs (see the finalized ``SweepPoint.spec``).
+        """
+        return [spec for _, spec, _ in self._points]
+
+    def coords(self) -> list[tuple[tuple[str, Any], ...]]:
+        """The per-point axis coordinates, in sweep order."""
+        return [coords for coords, _, _ in self._points]
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def iter_results(self, session: Session | None = None) -> Iterator[SweepPoint]:
+        """Stream sweep points as they are computed (serial, cache-shared).
+
+        Uses the sweep's bound session (``Study.sweep`` binds the study's)
+        when ``session`` is omitted, so points reuse previously cached
+        structure; a fresh session is created only if neither is set.
+        """
+        if session is None:
+            session = self.session if self.session is not None else Session()
+        for index, (coords, spec, branch) in enumerate(self._points):
+            spec = self._final_spec(spec, branch, session.root_seed)
+            yield SweepPoint(index, coords, spec, session.analyze(spec))
+
+    def run(
+        self, session: Session | None = None, n_jobs: int | None = None
+    ) -> SweepResult:
+        """Evaluate every point; ``n_jobs > 1`` fans out across processes.
+
+        Parallel workers each hold their own session, constructed with the
+        caller session's technology and root seed so serial and parallel
+        runs compute identical numbers (caches do not cross process
+        boundaries); results always come back in sweep order.  If a process
+        pool cannot be created the sweep silently falls back to the serial
+        path.
+        """
+        if n_jobs is None or n_jobs <= 1:
+            return SweepResult(list(self.iter_results(session)))
+        if session is None:
+            session = self.session if self.session is not None else Session()
+        pool = _make_pool(n_jobs)
+        if pool is None:
+            # No working process pool on this platform: fall back to the
+            # serial path.  Errors raised by the sweep points themselves are
+            # real failures and propagate from pool.map below.
+            return SweepResult(list(self.iter_results(session)))
+        payloads = [
+            (
+                index,
+                coords,
+                self._final_spec(spec, branch, session.root_seed),
+                session.technology,
+                session.root_seed,
+            )
+            for index, (coords, spec, branch) in enumerate(self._points)
+        ]
+        with pool:
+            points = list(pool.map(_evaluate_point, payloads))
+        return SweepResult(points)
+
+
+def _pool_probe() -> None:
+    """No-op task used to force worker spawning before committing to a pool."""
+
+
+def _make_pool(n_jobs: int):
+    """A verified-working process pool, or ``None`` if this platform has none.
+
+    ``ProcessPoolExecutor`` spawns workers lazily, so constructing it can
+    succeed on platforms where forking is forbidden; submitting a probe task
+    surfaces that failure here instead of mid-sweep.
+    """
+    try:
+        from concurrent.futures import ProcessPoolExecutor
+        from concurrent.futures.process import BrokenProcessPool
+
+        pool = ProcessPoolExecutor(max_workers=n_jobs)
+        try:
+            pool.submit(_pool_probe).result()
+        except (OSError, PermissionError, BrokenProcessPool):
+            pool.shutdown(wait=False, cancel_futures=True)
+            return None
+        return pool
+    except (ImportError, OSError, PermissionError):
+        return None
+
+
+_WORKER_SESSION: Session | None = None
+
+
+def _evaluate_point(payload: tuple) -> SweepPoint:
+    """Process-pool entrypoint: evaluate one point on a per-worker session.
+
+    The worker session mirrors the dispatching session's technology and
+    root seed (shipped with each payload), so parallel runs return the same
+    numbers as serial ones; it is rebuilt only if those parameters change.
+    """
+    global _WORKER_SESSION
+    index, coords, spec, technology, root_seed = payload
+    if (
+        _WORKER_SESSION is None
+        or _WORKER_SESSION.technology != technology
+        or _WORKER_SESSION.root_seed != root_seed
+    ):
+        _WORKER_SESSION = Session(technology=technology, root_seed=root_seed)
+    return SweepPoint(index, coords, spec, _WORKER_SESSION.analyze(spec))
+
+
+def run_sweep(
+    base: StudySpec,
+    axes: Mapping[str, Sequence[Any]],
+    mode: str = "grid",
+    session: Session | None = None,
+    n_jobs: int | None = None,
+    seed_policy: str = "spawn",
+) -> SweepResult:
+    """One-shot facade: build a :class:`ScenarioSweep` and run it."""
+    return ScenarioSweep(base, axes, mode=mode, seed_policy=seed_policy).run(
+        session=session, n_jobs=n_jobs
+    )

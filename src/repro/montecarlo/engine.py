@@ -50,8 +50,9 @@ class MonteCarloEngine:
     n_samples:
         Number of Monte-Carlo samples per run.
     seed:
-        Seed of the engine's random generator; runs are reproducible for a
-        fixed seed and input design.
+        Seed of the engine's random generator: an integer or a
+        ``numpy.random.SeedSequence`` (e.g. a child spawned for one sweep
+        point); runs are reproducible for a fixed seed and input design.
     grid_size:
         Resolution of the spatial-correlation grid.
     chunk_size:
@@ -70,7 +71,7 @@ class MonteCarloEngine:
         variation: VariationModel,
         technology: Technology | None = None,
         n_samples: int = 2000,
-        seed: int = 2005,
+        seed: int | np.random.SeedSequence = 2005,
         grid_size: int = 8,
         chunk_size: int | None = None,
     ) -> None:
@@ -81,7 +82,9 @@ class MonteCarloEngine:
         self.technology = technology if technology is not None else default_technology()
         self.variation = variation
         self.n_samples = int(n_samples)
-        self.seed = int(seed)
+        self.seed = (
+            seed if isinstance(seed, np.random.SeedSequence) else int(seed)
+        )
         self.grid_size = int(grid_size)
         self.chunk_size = int(chunk_size) if chunk_size is not None else None
         self.delay_model = GateDelayModel(self.technology)

@@ -423,6 +423,20 @@ class StatisticalTimingAnalyzer:
     # ------------------------------------------------------------------
     # Cross-stage statistics
     # ------------------------------------------------------------------
+    def pipeline_stage_forms(self, pipeline) -> list[CanonicalForm]:
+        """Stage-delay canonical forms for every stage of a pipeline.
+
+        All forms share this analyzer's factor basis, so the cross-stage
+        correlation the pipeline model needs falls out of
+        :meth:`correlation_matrix` directly.  ``pipeline`` is anything with
+        ``.stages`` of objects exposing ``netlist``, ``flipflop`` and
+        ``register_position`` (i.e. :class:`repro.pipeline.pipeline.Pipeline`).
+        """
+        return [
+            self.stage_delay(stage.netlist, stage.flipflop, stage.register_position)
+            for stage in pipeline.stages
+        ]
+
     def correlation_matrix(self, forms: list[CanonicalForm]) -> np.ndarray:
         """Correlation matrix of a list of canonical forms.
 

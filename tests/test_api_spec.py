@@ -1,0 +1,180 @@
+"""Spec layer of the Study API: validation, hashing, JSON round-trips."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.api.spec import (
+    AnalysisSpec,
+    PipelineSpec,
+    StudySpec,
+    VariationSpec,
+    pipeline_kinds,
+    register_pipeline_kind,
+)
+from repro.pipeline.builder import inverter_chain_pipeline
+from repro.process.variation import VariationModel
+
+
+class TestPipelineSpec:
+    def test_defaults_build_an_inverter_chain(self):
+        pipeline = PipelineSpec().build()
+        assert pipeline.n_stages == 5
+        assert all(stage.logic_depth == 8 for stage in pipeline.stages)
+
+    def test_build_matches_direct_builder(self):
+        spec = PipelineSpec(kind="inverter_chain", n_stages=3, logic_depth=(4, 5, 6))
+        direct = inverter_chain_pipeline(3, [4, 5, 6])
+        built = spec.build()
+        assert built.stage_names == direct.stage_names
+        assert [s.logic_depth for s in built.stages] == [
+            s.logic_depth for s in direct.stages
+        ]
+
+    def test_alu_and_iscas_kinds(self):
+        alu = PipelineSpec(kind="alu_decoder", width=4, n_address=3).build()
+        assert alu.stage_names == ["alu_part1", "decoder", "alu_part2"]
+        iscas = PipelineSpec(kind="iscas", benchmarks=("c432", "c1908")).build()
+        assert iscas.stage_names == ["c432", "c1908"]
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown pipeline kind"):
+            PipelineSpec(kind="nonsense")
+
+    def test_depth_count_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="logic depths"):
+            PipelineSpec(n_stages=3, logic_depth=(4, 5))
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_stages": 0},
+            {"logic_depth": 0},
+            {"size": 0.0},
+            {"kind": "iscas", "benchmarks": ()},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            PipelineSpec(**kwargs)
+
+    def test_hashable_and_list_depth_coerced(self):
+        a = PipelineSpec(n_stages=2, logic_depth=[3, 4])
+        b = PipelineSpec(n_stages=2, logic_depth=(3, 4))
+        assert a == b
+        assert {a: "cached"}[b] == "cached"
+
+    def test_json_round_trip(self):
+        spec = PipelineSpec(kind="inverter_chain", n_stages=5, logic_depth=(6, 8, 10, 8, 6))
+        assert PipelineSpec.from_json(spec.to_json()) == spec
+
+    def test_register_custom_kind(self):
+        def factory(spec, technology):
+            return inverter_chain_pipeline(2, 2, technology=technology)
+
+        register_pipeline_kind("test_custom_kind", factory, replace=True)
+        assert "test_custom_kind" in pipeline_kinds()
+        assert PipelineSpec(kind="test_custom_kind").build().n_stages == 2
+
+
+class TestVariationSpec:
+    @pytest.mark.parametrize(
+        "preset",
+        ["intra_random_only", "inter_only", "combined"],
+    )
+    def test_presets_mirror_variation_model(self, preset):
+        spec = getattr(VariationSpec, preset)()
+        model = getattr(VariationModel, preset)()
+        assert spec.build() == model
+
+    def test_sigma_scale_scales_sigmas_not_correlation_length(self):
+        spec = VariationSpec.combined().scaled(2.0)
+        model = spec.build()
+        base = VariationModel.combined()
+        assert model.sigma_vth_inter == pytest.approx(2.0 * base.sigma_vth_inter)
+        assert model.sigma_vth_random == pytest.approx(2.0 * base.sigma_vth_random)
+        assert model.correlation_length == base.correlation_length
+
+    def test_from_model_round_trip(self):
+        model = VariationModel.combined(sigma_vth_inter=0.033)
+        assert VariationSpec.from_model(model).build() == model
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            VariationSpec(sigma_vth_inter=-0.01)
+        with pytest.raises(ValueError):
+            VariationSpec(sigma_scale=-1.0)
+
+    def test_json_round_trip(self):
+        spec = VariationSpec.inter_only(0.04).scaled(1.5)
+        assert VariationSpec.from_json(spec.to_json()) == spec
+
+
+class TestAnalysisSpec:
+    def test_with_backend_and_seed(self):
+        spec = AnalysisSpec(backend="montecarlo", seed=7)
+        assert spec.with_backend("ssta").backend == "ssta"
+        assert spec.with_seed(None).seed is None
+        # the original is untouched (frozen)
+        assert spec.backend == "montecarlo" and spec.seed == 7
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"backend": ""},
+            {"n_samples": 1},
+            {"seed": -1},
+            {"grid_size": 0},
+            {"chunk_size": 0},
+            {"variance_coverage": 0.0},
+            {"ordering": "sideways"},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            AnalysisSpec(**kwargs)
+
+    def test_json_round_trip(self):
+        spec = AnalysisSpec(backend="ssta", n_samples=123, seed=None, chunk_size=16)
+        assert AnalysisSpec.from_json(spec.to_json()) == spec
+
+
+class TestStudySpec:
+    def make(self) -> StudySpec:
+        return StudySpec(
+            pipeline=PipelineSpec(n_stages=2, logic_depth=3),
+            variation=VariationSpec.combined(),
+            analysis=AnalysisSpec(n_samples=100, seed=3),
+            target_yield=0.9,
+            target_quantile=0.85,
+            name="roundtrip",
+        )
+
+    def test_json_round_trip(self):
+        spec = self.make()
+        restored = StudySpec.from_json(spec.to_json())
+        assert restored == spec
+        assert hash(restored) == hash(spec)
+
+    def test_json_round_trip_preserves_nested_types(self):
+        restored = StudySpec.from_json(self.make().to_json(indent=2))
+        assert isinstance(restored.pipeline, PipelineSpec)
+        assert isinstance(restored.variation, VariationSpec)
+        assert isinstance(restored.analysis, AnalysisSpec)
+
+    def test_with_backend(self):
+        spec = self.make().with_backend("analytic")
+        assert spec.analysis.backend == "analytic"
+        assert spec.pipeline == self.make().pipeline
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown StudySpec field"):
+            StudySpec.from_dict({"nonsense": 1})
+
+    def test_target_ranges_validated(self):
+        with pytest.raises(ValueError, match="target_yield"):
+            dataclasses.replace(self.make(), target_yield=1.0)
+        with pytest.raises(ValueError, match="target_quantile"):
+            dataclasses.replace(self.make(), target_quantile=0.0)
