@@ -10,9 +10,10 @@ Two design choices the paper calls out are exercised here:
 
 2. **Stage processing order in the Fig. 9 global optimization.**  The paper
    processes stages in ascending order of the eq. 14 sensitivity ratio R_i.
-   This ablation runs the global optimizer with ascending, descending and
-   document order on the ALU-Decoder pipeline and compares the final
-   area/yield.
+   This ablation sweeps ``design.ordering`` through the Design API on the
+   ALU-Decoder pipeline and compares the final area/yield; the three sweep
+   points share the session-cached balanced baseline and area--delay curves,
+   so only the global optimization itself is repeated per ordering.
 """
 
 from __future__ import annotations
@@ -20,18 +21,10 @@ from __future__ import annotations
 import numpy as np
 
 from repro.analysis.reporting import format_table
-from repro.core.pipeline_delay import PipelineDelayModel
-from repro.core.stage_delay import StageDelayDistribution
+from repro.api import DesignSpec, PipelineSpec, VariationSpec, run_sweep
 from repro.core.clark import max_of_gaussians
-from repro.core.yield_model import stage_yield_budget
-from repro.optimize.balance import design_balanced_pipeline
-from repro.optimize.global_opt import GlobalPipelineOptimizer
-from repro.optimize.lagrangian import LagrangianSizer
-from repro.pipeline.builder import alu_decoder_pipeline
-from repro.process.technology import default_technology
-from repro.process.variation import VariationModel
 
-from bench_utils import run_once, save_report
+from bench_utils import design_study, run_once, save_report, study_session
 
 
 def clark_ordering_ablation() -> str:
@@ -59,30 +52,39 @@ def clark_ordering_ablation() -> str:
 
 
 def stage_ordering_ablation() -> str:
-    pipeline = alu_decoder_pipeline(width=8, n_address=4)
-    sizer = LagrangianSizer(default_technology(), VariationModel.combined())
-    stage_yield = stage_yield_budget(0.80, pipeline.n_stages)
-    fastest = min(
-        sizer.stage_distribution(stage).delay_at_yield(stage_yield)
-        for stage in pipeline.stages
+    base = design_study(
+        PipelineSpec(kind="alu_decoder", width=8, n_address=4),
+        VariationSpec.combined(),
+        DesignSpec(
+            optimizer="global",
+            sizer="lagrangian",
+            yield_target=0.80,
+            delay_policy="stage_min",
+            delay_scale=0.85,
+            curve_points=4,
+        ),
     )
-    target_delay = 0.85 * fastest
-    balanced = design_balanced_pipeline(pipeline, sizer, target_delay, 0.80)
+    result = run_sweep(
+        base,
+        {"design.ordering": ["ri_ascending", "ri_descending", "pipeline"]},
+        session=study_session(),
+    )
 
     rows = []
-    for ordering in ("ri_ascending", "ri_descending", "pipeline"):
-        optimizer = GlobalPipelineOptimizer(sizer, curve_points=4, ordering=ordering)
-        result = optimizer.optimize(balanced.pipeline, target_delay, 0.80)
+    for point in result:
+        report = point.report
         rows.append([
-            ordering,
-            " -> ".join(result.stage_order),
-            round(result.after.total_area, 1),
-            round(100.0 * result.after.pipeline_yield, 1),
+            point.coord("design.ordering"),
+            " -> ".join(report.stage_order),
+            round(report.total_area, 1),
+            round(100.0 * report.predicted_yield, 1),
         ])
+    baseline = result[0].report.baseline
+    target_delay = result[0].report.target_delay
     rows.append([
         "(balanced baseline)", "-",
-        round(balanced.total_area, 1),
-        round(100.0 * GlobalPipelineOptimizer(sizer).pipeline_yield(balanced.pipeline, target_delay), 1),
+        round(baseline.total_area, 1),
+        round(100.0 * baseline.pipeline_yield, 1),
     ])
     return format_table(
         ["stage ordering", "processing order", "final area (um^2)", "final pipeline yield (%)"],

@@ -2,55 +2,65 @@
 
 The paper relies on the Lagrangian-relaxation statistical sizer of Choi et
 al. (DAC 2004) for its low complexity.  This ablation sizes the same stages
-for the same statistical targets with this repo's Lagrangian sizer and with
-a classical greedy upsizing baseline, and compares achieved yield, area and
-runtime.
+(a c432 + c1908 ISCAS pipeline) for the same statistical targets with both
+registered sizer strategies and compares achieved yield, area and runtime.
+
+Through the Design API this is one zip-mode sweep over ``design.sizer`` (with
+matching ``design.sizer_options``): the ``"stage_relative"`` delay policy
+gives every stage its own target -- 0.85x its minimum-size delay at the 95 %
+stage yield -- and the per-stage sizing trace of each ``DesignReport``
+carries the achieved yield, area, and wall-clock seconds the table reports.
 """
 
 from __future__ import annotations
 
-import time
-
 from repro.analysis.reporting import format_table
-from repro.circuit.iscas import iscas_benchmark
-from repro.optimize.greedy import GreedySizer
-from repro.optimize.lagrangian import LagrangianSizer
-from repro.pipeline.stage import PipelineStage
-from repro.process.technology import default_technology
-from repro.process.variation import VariationModel
+from repro.api import DesignSpec, PipelineSpec, VariationSpec, run_sweep
 
-from bench_utils import run_once, save_report
+from bench_utils import design_study, run_once, save_report, study_session
 
 STAGE_YIELD = 0.95
 SPEEDUP = 0.85  # delay target as a fraction of the min-size stage delay
 
 
 def sizer_ablation() -> str:
-    technology = default_technology()
-    variation = VariationModel.combined()
-    lagrangian = LagrangianSizer(technology, variation)
-    greedy = GreedySizer(technology, variation, max_moves=2500)
+    base = design_study(
+        PipelineSpec(kind="iscas", benchmarks=("c432", "c1908")),
+        VariationSpec.combined(),
+        DesignSpec(
+            optimizer="balanced",
+            sizer="lagrangian",
+            yield_target=0.80,
+            stage_yield=STAGE_YIELD,
+            delay_policy="stage_relative",
+            delay_scale=SPEEDUP,
+        ),
+    )
+    result = run_sweep(
+        base,
+        {
+            "design.sizer": ["lagrangian", "greedy"],
+            "design.sizer_options": [{}, {"max_moves": 2500}],
+        },
+        mode="zip",
+        session=study_session(),
+    )
 
     rows = []
-    for benchmark_name in ("c432", "c1908"):
-        stage = PipelineStage(benchmark_name, iscas_benchmark(benchmark_name))
-        baseline = lagrangian.stage_distribution(stage)
-        target = SPEEDUP * baseline.delay_at_yield(STAGE_YIELD)
-        minimum_area = stage.netlist.total_area()
-
-        for label, sizer in (("lagrangian", lagrangian), ("greedy", greedy)):
-            start = time.perf_counter()
-            result = sizer.size_stage(stage, target, STAGE_YIELD, apply=False)
-            elapsed = time.perf_counter() - start
+    for stage_index in range(2):
+        for point in result:
+            report = point.report
+            entry = report.trace[stage_index]
+            minimum_area = report.baseline.stage_logic_areas[stage_index]
             rows.append([
-                benchmark_name,
-                label,
-                round(target * 1e12, 1),
-                round(100.0 * result.achieved_yield, 1),
-                "yes" if result.met_target else "no",
-                round(result.area, 1),
-                round(result.area / minimum_area, 3),
-                round(elapsed, 2),
+                entry.stage,
+                report.sizer,
+                round(entry.target_delay * 1e12, 1),
+                round(100.0 * entry.achieved_yield, 1),
+                "yes" if entry.met_target else "no",
+                round(entry.area, 1),
+                round(entry.area / minimum_area, 3),
+                round(entry.seconds, 2),
             ])
     return format_table(
         [

@@ -12,25 +12,19 @@ total area, following the eq. 14 heuristic ("best") or its inverse ("worst").
              worst-unbalanced at (approximately) equal area -- the heuristic
              imbalance wins, the inverted one loses.
 
-All three designs are verified with the Monte-Carlo engine.
+Through the Design API this is three ``DesignStudySpec``s on one session --
+``balanced`` plus ``redistribute`` in both modes -- so the balanced baseline
+is sized once and the per-stage area--delay curves are characterised once
+and shared between the two redistribution modes.  All three designs carry a
+Monte-Carlo validation block.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.analysis.reporting import format_table
-from repro.core.yield_model import stage_yield_budget
-from repro.montecarlo.engine import MonteCarloEngine
-from repro.optimize.area_delay import characterize_stage
-from repro.optimize.balance import design_balanced_pipeline
-from repro.optimize.lagrangian import LagrangianSizer
-from repro.optimize.redistribute import redistribute_area
-from repro.pipeline.builder import alu_decoder_pipeline
-from repro.process.technology import default_technology
-from repro.process.variation import VariationModel
+from repro.api import DesignSpec, PipelineSpec, VariationSpec
 
-from bench_utils import run_once, save_report
+from bench_utils import design_study, run_design, run_once, save_report
 
 PIPELINE_YIELD_TARGET = 0.80
 TARGET_YIELD_SWEEP = (0.70, 0.75, 0.80)
@@ -39,51 +33,50 @@ N_SAMPLES = 3000
 
 
 def reproduce_fig7() -> str:
-    pipeline = alu_decoder_pipeline(width=8, n_address=4)
-    variation = VariationModel.combined()
-    sizer = LagrangianSizer(default_technology(), variation)
-    stage_yield = stage_yield_budget(PIPELINE_YIELD_TARGET, pipeline.n_stages)
-
-    fastest = min(
-        sizer.stage_distribution(stage).delay_at_yield(stage_yield)
-        for stage in pipeline.stages
+    pipeline = PipelineSpec(kind="alu_decoder", width=8, n_address=4)
+    variation = VariationSpec.combined()
+    design_knobs = dict(
+        sizer="lagrangian",
+        yield_target=PIPELINE_YIELD_TARGET,
+        delay_policy="stage_min",
+        delay_scale=0.85,
+        curve_points=5,
     )
-    target_delay = 0.85 * fastest
 
-    balanced = design_balanced_pipeline(pipeline, sizer, target_delay, PIPELINE_YIELD_TARGET)
-    curves = {
-        stage.name: characterize_stage(stage, sizer, stage_yield, n_points=5)
-        for stage in balanced.pipeline.stages
+    def spec(optimizer: str, **knobs):
+        return design_study(
+            pipeline,
+            variation,
+            DesignSpec(optimizer=optimizer, **design_knobs, **knobs),
+            n_samples=N_SAMPLES,
+            seed=77,
+        )
+
+    reports = {
+        "balanced": run_design(spec("balanced")),
+        "unbalanced (best, eq.14)": run_design(
+            spec("redistribute", fraction=FRACTION, mode="best")
+        ),
+        "unbalanced (worst, inverted)": run_design(
+            spec("redistribute", fraction=FRACTION, mode="worst")
+        ),
     }
-    best = redistribute_area(
-        balanced.pipeline, curves, sizer, target_delay, stage_yield,
-        fraction=FRACTION, mode="best",
-    )
-    worst = redistribute_area(
-        balanced.pipeline, curves, sizer, target_delay, stage_yield,
-        fraction=FRACTION, mode="worst",
-    )
-
-    engine = MonteCarloEngine(variation, n_samples=N_SAMPLES, seed=77)
-    designs = {
-        "balanced": balanced.pipeline,
-        "unbalanced (best, eq.14)": best.pipeline,
-        "unbalanced (worst, inverted)": worst.pipeline,
-    }
-    monte_carlo = {name: engine.run_pipeline(design) for name, design in designs.items()}
+    balanced = reports["balanced"]
+    best = reports["unbalanced (best, eq.14)"]
+    target_delay = balanced.target_delay
+    stage_yield = balanced.stage_yield_target
 
     # ------------------------------------------------------------------
     # Fig. 7(a): delay distribution summary
     # ------------------------------------------------------------------
     distribution_rows = []
-    for name, design in designs.items():
-        result = monte_carlo[name].pipeline_result()
+    for name, report in reports.items():
         distribution_rows.append([
             name,
-            round(design.total_area(), 1),
-            round(result.mean * 1e12, 1),
-            round(result.std * 1e12, 2),
-            round(100.0 * monte_carlo[name].yield_at(target_delay), 1),
+            round(report.total_area, 1),
+            round(report.validation.pipeline_mean * 1e12, 1),
+            round(report.validation.pipeline_std * 1e12, 2),
+            round(100.0 * report.validation.yield_at(target_delay), 1),
         ])
     panel_a = format_table(
         ["design", "total area (um^2)", "MC mean (ps)", "MC sigma (ps)",
@@ -99,13 +92,13 @@ def reproduce_fig7() -> str:
     for target_yield in TARGET_YIELD_SWEEP:
         # Each target yield corresponds to the clock period the *balanced*
         # design would need for that yield; all designs are evaluated at it.
-        period = monte_carlo["balanced"].pipeline_result().delay_at_yield(target_yield)
+        period = balanced.validation.delay_at_yield(target_yield)
         yield_rows.append([
             round(100.0 * target_yield, 0),
             round(period * 1e12, 1),
             *[
-                round(100.0 * monte_carlo[name].yield_at(period), 1)
-                for name in designs
+                round(100.0 * report.validation.yield_at(period), 1)
+                for report in reports.values()
             ],
         ])
     panel_b = format_table(

@@ -1,0 +1,140 @@
+"""Micro-benchmark: optimizer hot paths through the Design API.
+
+Times the statistical sizers on ISCAS stages and the Design API's cached
+design flow (balanced baseline reuse across optimizers, per-(stage, sizer)
+area--delay curve reuse, memoized design reports), and writes the timings to
+``benchmarks/results/perf_sizing.json`` so optimizer hot-path numbers join
+the performance trajectory started by ``bench_perf_timing.py``.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_perf_sizing.py
+
+or through pytest (the assertions enforce the caching floors)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_perf_sizing.py -q
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+STAGE_YIELD = 0.95
+SPEEDUP = 0.85
+
+
+def _timed(fn, *args, **kwargs):
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return time.perf_counter() - start, result
+
+
+def run_benchmark() -> dict:
+    from repro.api import (
+        AnalysisSpec,
+        DesignSpec,
+        DesignStudySpec,
+        PipelineSpec,
+        Session,
+        VariationSpec,
+    )
+    from repro.circuit.iscas import iscas_benchmark
+    from repro.optimize.sizers import make_sizer
+    from repro.pipeline.stage import PipelineStage
+    from repro.process.technology import default_technology
+    from repro.process.variation import VariationModel
+
+    technology = default_technology()
+    variation = VariationModel.combined()
+
+    report: dict = {"stage_yield": STAGE_YIELD, "sizers": {}, "design_api": {}}
+
+    # ------------------------------------------------------------------
+    # Raw sizer hot path: one statistical sizing run per (stage, sizer).
+    # ------------------------------------------------------------------
+    for sizer_name, options in (
+        ("lagrangian", {"max_outer": 30}),
+        ("greedy", {"max_moves": 2500}),
+    ):
+        sizer = make_sizer(sizer_name, technology, variation, **options)
+        stages = {}
+        for benchmark_name in ("c432", "c1908"):
+            stage = PipelineStage(benchmark_name, iscas_benchmark(benchmark_name))
+            target = SPEEDUP * sizer.stage_distribution(stage).delay_at_yield(
+                STAGE_YIELD
+            )
+            seconds, result = _timed(
+                sizer.size_stage, stage, target, STAGE_YIELD, apply=False
+            )
+            stages[benchmark_name] = {
+                "seconds": seconds,
+                "iterations": result.iterations,
+                "met_target": result.met_target,
+                "gates_per_second": stage.n_gates * result.iterations / max(seconds, 1e-9),
+            }
+        report["sizers"][sizer_name] = stages
+
+    # ------------------------------------------------------------------
+    # Design-API hot path: session caching across optimizers and repeats.
+    # ------------------------------------------------------------------
+    session = Session()
+    base = DesignStudySpec(
+        pipeline=PipelineSpec(kind="iscas", benchmarks=("c432", "c1908")),
+        variation=VariationSpec.combined(),
+        design=DesignSpec(
+            optimizer="balanced",
+            sizer="lagrangian",
+            sizer_options={"max_outer": 30},
+            yield_target=0.80,
+            delay_policy="stage_max",
+            delay_scale=0.9,
+            curve_points=3,
+        ),
+        validation=AnalysisSpec(n_samples=500, seed=17),
+    )
+
+    t_balanced, _ = _timed(session.design, base)
+    # Reuses the cached balanced baseline; pays for curves + redistribution.
+    t_redistribute, _ = _timed(session.design, base, "redistribute")
+    # Reuses the balanced baseline AND the area-delay curves (stage_yield is
+    # the equal split, which is also the global optimizer's curve yield).
+    t_global, _ = _timed(session.design, base, "global")
+    # Memoized report: a pure cache fetch.
+    t_cached, _ = _timed(session.design, base)
+
+    report["design_api"] = {
+        "balanced_first_s": t_balanced,
+        "redistribute_with_cached_baseline_s": t_redistribute,
+        "global_with_cached_baseline_and_curves_s": t_global,
+        "balanced_cached_s": t_cached,
+        "cached_report_speedup": t_balanced / max(t_cached, 1e-9),
+        "session_cache_hits": session.cache_hits,
+        "session_cache_misses": session.cache_misses,
+    }
+
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    out = RESULTS_DIR / "perf_sizing.json"
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def test_perf_sizing():
+    """Caching floors: memoized reports are effectively free, caches hit."""
+    report = run_benchmark()
+    api = report["design_api"]
+    assert api["cached_report_speedup"] >= 50.0, api
+    # The redistribute/global runs must have found the balanced baseline in
+    # the cache (hits > 0) instead of re-deriving targets and re-sizing.
+    assert api["session_cache_hits"] >= 2, api
+    for sizer_name, stages in report["sizers"].items():
+        for stage_name, stats in stages.items():
+            assert stats["met_target"], (sizer_name, stage_name, stats)
+
+
+if __name__ == "__main__":
+    result = run_benchmark()
+    print(json.dumps(result, indent=2))

@@ -10,33 +10,30 @@ stage at a time, ordered by the eq. 14 sensitivity ratio, raising the cheap
 stages' yields to compensate and reaching the 80 % pipeline target with only
 a ~2 % area increase.
 
-The pipeline delay target here is chosen the same way the paper's scenario
-implies: just below what the hardest stage can reach at a 95 % stage yield
-within the allowed size range, so the baseline under-achieves the pipeline
-target and the optimizer must make up the difference.
+The whole experiment is one declarative ``DesignStudySpec`` answered by the
+``global`` optimizer through the Design API: the ``"sized"`` delay policy
+reproduces the paper's target choice (just below what the hardest stage can
+reach at a 95 % stage yield within the allowed size range, so the baseline
+under-achieves the pipeline target and the optimizer must make up the
+difference), and the validation block cross-checks both designs with the
+Monte-Carlo engine.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.analysis.reporting import format_table
-from repro.montecarlo.engine import MonteCarloEngine
-from repro.optimize.balance import design_balanced_pipeline
-from repro.optimize.global_opt import GlobalPipelineOptimizer
-from repro.optimize.lagrangian import LagrangianSizer
-from repro.pipeline.builder import iscas_pipeline
-from repro.process.technology import default_technology
-from repro.process.variation import VariationModel
+from repro.api import DesignReport, DesignSpec, PipelineSpec, VariationSpec
 
-from bench_utils import run_once, save_report
+from bench_utils import design_study, run_design, run_once, save_report
 
 PIPELINE_YIELD_TARGET = 0.80
 STAGE_YIELD_BASELINE = 0.95
 N_SAMPLES = 1500
 
 
-def build_report(before, after, optimizer_result, mc_before, mc_after, target_delay) -> str:
+def build_report(report: DesignReport) -> str:
+    before = report.baseline
+    after = report.after
     names = list(before.stage_names)
     total_before = before.total_area
     rows = []
@@ -60,18 +57,18 @@ def build_report(before, after, optimizer_result, mc_before, mc_after, target_de
         rows,
         title=(
             "Table II: ensuring the pipeline yield target "
-            f"({PIPELINE_YIELD_TARGET:.0%}) at T_target = {target_delay*1e12:.0f} ps "
+            f"({PIPELINE_YIELD_TARGET:.0%}) at T_target = {report.target_delay*1e12:.0f} ps "
             "(areas relative to the baseline design)"
         ),
     )
     checks = format_table(
         ["quantity", "value"],
         [
-            ["stage processing order (by R_i)", " -> ".join(optimizer_result.stage_order)],
-            ["pipeline yield improvement (points)", round(optimizer_result.yield_improvement, 1)],
-            ["area change (%)", round(optimizer_result.area_change_percent, 1)],
-            ["Monte-Carlo yield before (%)", round(100.0 * mc_before, 1)],
-            ["Monte-Carlo yield after (%)", round(100.0 * mc_after, 1)],
+            ["stage processing order (by R_i)", " -> ".join(report.stage_order)],
+            ["pipeline yield improvement (points)", round(report.yield_improvement, 1)],
+            ["area change (%)", round(report.area_change_percent, 1)],
+            ["Monte-Carlo yield before (%)", round(100.0 * report.mc_yield_baseline, 1)],
+            ["Monte-Carlo yield after (%)", round(100.0 * report.mc_yield, 1)],
         ],
         title="Cross-checks",
     )
@@ -79,38 +76,25 @@ def build_report(before, after, optimizer_result, mc_before, mc_after, target_de
 
 
 def reproduce_table2() -> str:
-    pipeline = iscas_pipeline()
-    variation = VariationModel.combined()
-    sizer = LagrangianSizer(default_technology(), variation, max_outer=30)
-
-    # Delay target: just below what the hardest stage can reach at the 95 %
-    # stage-yield budget, so the conventional flow falls short of the
-    # pipeline yield target (the Table II scenario).
-    achievable = []
-    for stage in pipeline.stages:
-        result = sizer.size_stage(
-            stage, 0.6 * sizer.stage_distribution(stage).delay_at_yield(STAGE_YIELD_BASELINE),
-            STAGE_YIELD_BASELINE, apply=False,
-        )
-        achievable.append(result.stage_delay.delay_at_yield(STAGE_YIELD_BASELINE))
-    # Clearly below the hardest stage's best: that stage cannot reach its 95 %
-    # budget, so the conventional pipeline misses the 80 % goal (the paper's
-    # 73.9 % situation) and the optimizer has to compensate elsewhere.
-    target_delay = 0.92 * max(achievable)
-
-    balanced = design_balanced_pipeline(
-        pipeline, sizer, target_delay, PIPELINE_YIELD_TARGET,
-        stage_yield_target=STAGE_YIELD_BASELINE,
+    spec = design_study(
+        PipelineSpec(kind="iscas"),
+        VariationSpec.combined(),
+        DesignSpec(
+            optimizer="global",
+            sizer="lagrangian",
+            sizer_options={"max_outer": 30},
+            yield_target=PIPELINE_YIELD_TARGET,
+            stage_yield=STAGE_YIELD_BASELINE,
+            delay_policy="sized",
+            delay_probe=0.6,
+            delay_scale=0.92,
+            curve_points=4,
+            ordering="ri_ascending",
+        ),
+        n_samples=N_SAMPLES,
+        seed=2,
     )
-
-    optimizer = GlobalPipelineOptimizer(sizer, curve_points=4, ordering="ri_ascending")
-    result = optimizer.optimize(balanced.pipeline, target_delay, PIPELINE_YIELD_TARGET)
-
-    engine = MonteCarloEngine(variation, n_samples=N_SAMPLES, seed=2)
-    mc_before = engine.run_pipeline(balanced.pipeline).yield_at(target_delay)
-    mc_after = engine.run_pipeline(result.pipeline).yield_at(target_delay)
-
-    return build_report(result.before, result.after, result, mc_before, mc_after, target_delay)
+    return build_report(run_design(spec))
 
 
 def test_table2_ensure_yield(benchmark):

@@ -8,95 +8,89 @@ their yield drops toward what the pipeline target actually requires) while
 cheap stages are kept fast, ending with ~8.4 % less area at the same 80 %
 pipeline yield.
 
-Here the pipeline delay target is set comfortably above what every stage can
-reach, so the baseline over-achieves the pipeline yield and the optimizer's
-job is pure area recovery.
+Expressed through the Design API, this is the same ``global``-optimizer
+``DesignStudySpec`` as Table II with a different delay policy: the
+``"stage_max"`` policy sets the pipeline delay target comfortably above what
+every stage can reach (0.78x the hardest stage's minimum-size delay), so the
+baseline over-achieves the pipeline yield and the optimizer's job is pure
+area recovery.
 """
 
 from __future__ import annotations
 
 from repro.analysis.reporting import format_table
-from repro.montecarlo.engine import MonteCarloEngine
-from repro.optimize.balance import design_balanced_pipeline
-from repro.optimize.global_opt import GlobalPipelineOptimizer
-from repro.optimize.lagrangian import LagrangianSizer
-from repro.pipeline.builder import iscas_pipeline
-from repro.process.technology import default_technology
-from repro.process.variation import VariationModel
+from repro.api import DesignReport, DesignSpec, PipelineSpec, VariationSpec
 
-from bench_utils import run_once, save_report
+from bench_utils import design_study, run_design, run_once, save_report
 
 PIPELINE_YIELD_TARGET = 0.80
 STAGE_YIELD_BASELINE = 0.95
 N_SAMPLES = 1500
 
 
-def reproduce_table3() -> str:
-    pipeline = iscas_pipeline()
-    variation = VariationModel.combined()
-    sizer = LagrangianSizer(default_technology(), variation, max_outer=30)
-
-    # A reachable but aggressive delay target: well below the hardest stage's
-    # minimum-size delay, so every stage needs genuine sizing investment to
-    # meet its 95 % budget.  The baseline then over-achieves the 80 % pipeline
-    # goal and carries recoverable area -- the Table III scenario.
-    hardest = max(
-        sizer.stage_distribution(stage).delay_at_yield(STAGE_YIELD_BASELINE)
-        for stage in pipeline.stages
-    )
-    target_delay = 0.78 * hardest
-
-    balanced = design_balanced_pipeline(
-        pipeline, sizer, target_delay, PIPELINE_YIELD_TARGET,
-        stage_yield_target=STAGE_YIELD_BASELINE,
-    )
-
-    optimizer = GlobalPipelineOptimizer(sizer, curve_points=4, ordering="ri_ascending")
-    result = optimizer.optimize(balanced.pipeline, target_delay, PIPELINE_YIELD_TARGET)
-
-    engine = MonteCarloEngine(variation, n_samples=N_SAMPLES, seed=3)
-    mc_before = engine.run_pipeline(balanced.pipeline).yield_at(target_delay)
-    mc_after = engine.run_pipeline(result.pipeline).yield_at(target_delay)
-
-    names = list(result.before.stage_names)
-    total_before = result.before.total_area
+def build_report(report: DesignReport) -> str:
+    before = report.baseline
+    after = report.after
+    names = list(before.stage_names)
+    total_before = before.total_area
     rows = []
     for index, name in enumerate(names):
         rows.append([
             name,
-            round(100.0 * result.before.stage_areas[index] / total_before, 1),
-            round(100.0 * result.before.stage_yields[index], 1),
-            round(100.0 * result.after.stage_areas[index] / total_before, 1),
-            round(100.0 * result.after.stage_yields[index], 1),
+            round(100.0 * before.stage_areas[index] / total_before, 1),
+            round(100.0 * before.stage_yields[index], 1),
+            round(100.0 * after.stage_areas[index] / total_before, 1),
+            round(100.0 * after.stage_yields[index], 1),
         ])
     rows.append([
         "Pipeline",
         100.0,
-        round(100.0 * result.before.pipeline_yield, 1),
-        round(100.0 * result.after.total_area / total_before, 1),
-        round(100.0 * result.after.pipeline_yield, 1),
+        round(100.0 * before.pipeline_yield, 1),
+        round(100.0 * after.total_area / total_before, 1),
+        round(100.0 * after.pipeline_yield, 1),
     ])
     table = format_table(
         ["stage", "area before (%)", "yield before (%)", "area after (%)", "yield after (%)"],
         rows,
         title=(
             "Table III: area recovery at a fixed pipeline yield target "
-            f"({PIPELINE_YIELD_TARGET:.0%}) at T_target = {target_delay*1e12:.0f} ps"
+            f"({PIPELINE_YIELD_TARGET:.0%}) at T_target = {report.target_delay*1e12:.0f} ps"
         ),
     )
     checks = format_table(
         ["quantity", "value"],
         [
-            ["stage processing order (by R_i)", " -> ".join(result.stage_order)],
-            ["area change (%)", round(result.area_change_percent, 1)],
+            ["stage processing order (by R_i)", " -> ".join(report.stage_order)],
+            ["area change (%)", round(report.area_change_percent, 1)],
             ["pipeline yield before / after (%)",
-             f"{100.0 * result.before.pipeline_yield:.1f} / {100.0 * result.after.pipeline_yield:.1f}"],
+             f"{100.0 * before.pipeline_yield:.1f} / {100.0 * after.pipeline_yield:.1f}"],
             ["Monte-Carlo yield before / after (%)",
-             f"{100.0 * mc_before:.1f} / {100.0 * mc_after:.1f}"],
+             f"{100.0 * report.mc_yield_baseline:.1f} / {100.0 * report.mc_yield:.1f}"],
         ],
         title="Cross-checks",
     )
     return table + "\n\n" + checks
+
+
+def reproduce_table3() -> str:
+    spec = design_study(
+        PipelineSpec(kind="iscas"),
+        VariationSpec.combined(),
+        DesignSpec(
+            optimizer="global",
+            sizer="lagrangian",
+            sizer_options={"max_outer": 30},
+            yield_target=PIPELINE_YIELD_TARGET,
+            stage_yield=STAGE_YIELD_BASELINE,
+            delay_policy="stage_max",
+            delay_scale=0.78,
+            curve_points=4,
+            ordering="ri_ascending",
+        ),
+        n_samples=N_SAMPLES,
+        seed=3,
+    )
+    return build_report(run_design(spec))
 
 
 def test_table3_area_reduction(benchmark):

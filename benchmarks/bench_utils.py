@@ -21,6 +21,9 @@ import pathlib
 from repro.api import (
     AnalysisSpec,
     DelayReport,
+    DesignReport,
+    DesignSpec,
+    DesignStudySpec,
     PipelineSpec,
     Session,
     Study,
@@ -113,3 +116,34 @@ def characterize(
     """
     study = pipeline_study(pipeline, variation, n_samples, seed)
     return study.run(), study.run(backend="analytic")
+
+
+# ----------------------------------------------------------------------
+# Design-API helpers (the design-flow mirror of the study helpers)
+# ----------------------------------------------------------------------
+def design_study(
+    pipeline: PipelineSpec,
+    variation: VariationSpec,
+    design: DesignSpec,
+    n_samples: int | None = None,
+    seed: int | None = None,
+    **spec_kwargs,
+) -> DesignStudySpec:
+    """A design study spec, with Monte-Carlo validation when sampled."""
+    validation = (
+        None
+        if n_samples is None
+        else AnalysisSpec(backend="montecarlo", n_samples=n_samples, seed=seed)
+    )
+    return DesignStudySpec(
+        pipeline=pipeline,
+        variation=variation,
+        design=design,
+        validation=validation,
+        **spec_kwargs,
+    )
+
+
+def run_design(spec: DesignStudySpec) -> DesignReport:
+    """Run a design study on the shared session (cached baselines/curves)."""
+    return study_session().design(spec)

@@ -2,73 +2,80 @@
 """Global pipeline optimization under a yield constraint (paper section 4).
 
 Runs the Fig. 9 flow on a 2-stage ISCAS85 pipeline (c432 + c1908 stand-ins;
-the benchmark harness runs the paper's full 4-stage version):
+the benchmark harness runs the paper's full 4-stage version) through the
+Design API: the whole experiment is one declarative ``DesignStudySpec``,
 
 1. conventional baseline: each stage individually sized for a 95 % stage
-   yield at the pipeline delay target,
+   yield at the pipeline delay target (the ``balanced`` flow every optimizer
+   starts from),
 2. global optimization: one stage at a time, ordered by the eq. 14
    sensitivity ratio, re-sized against the *pipeline* yield target using the
    statistical pipeline model with SSTA-derived correlations,
-3. Monte-Carlo verification of both designs.
+3. Monte-Carlo verification of both designs (the spec's validation block).
 
 Run:  python examples/iscas_pipeline_optimization.py
 """
 
 from __future__ import annotations
 
-from repro import MonteCarloEngine, VariationModel, iscas_pipeline
+from repro import (
+    AnalysisSpec,
+    DesignSpec,
+    DesignStudySpec,
+    PipelineSpec,
+    VariationSpec,
+    run_study,
+)
 from repro.analysis.reporting import format_table
-from repro.optimize.balance import design_balanced_pipeline
-from repro.optimize.global_opt import GlobalPipelineOptimizer
-from repro.optimize.lagrangian import LagrangianSizer
-from repro.process.technology import default_technology
 
 PIPELINE_YIELD_TARGET = 0.80
 STAGE_YIELD_BASELINE = 0.95
 
 
 def main() -> None:
-    pipeline = iscas_pipeline(["c432", "c1908"], name="iscas_2stage")
-    variation = VariationModel.combined()
-    sizer = LagrangianSizer(default_technology(), variation, max_outer=30)
+    spec = DesignStudySpec(
+        pipeline=PipelineSpec(
+            kind="iscas", benchmarks=("c432", "c1908"), name="iscas_2stage"
+        ),
+        variation=VariationSpec.combined(),
+        design=DesignSpec(
+            optimizer="global",
+            sizer="lagrangian",
+            sizer_options={"max_outer": 30},
+            yield_target=PIPELINE_YIELD_TARGET,
+            stage_yield=STAGE_YIELD_BASELINE,
+            # A delay target that the harder stage can only just reach at
+            # 95 %: aggressively size each stage (0.6x its baseline delay)
+            # and take 0.99x the slowest achieved delay.
+            delay_policy="sized",
+            delay_probe=0.6,
+            delay_scale=0.99,
+            curve_points=4,
+        ),
+        validation=AnalysisSpec(n_samples=1500, seed=4),
+    )
+    report = run_study(spec)
 
-    # A delay target that the harder stage can only just reach at 95 %.
-    achievable = []
-    for stage in pipeline.stages:
-        aggressive = sizer.size_stage(
-            stage,
-            0.6 * sizer.stage_distribution(stage).delay_at_yield(STAGE_YIELD_BASELINE),
-            STAGE_YIELD_BASELINE,
-            apply=False,
-        )
-        achievable.append(aggressive.stage_delay.delay_at_yield(STAGE_YIELD_BASELINE))
-    target_delay = 0.99 * max(achievable)
-    print(f"Pipeline delay target: {target_delay * 1e12:.0f} ps, "
+    print(f"Pipeline delay target: {report.target_delay * 1e12:.0f} ps, "
           f"pipeline yield target {PIPELINE_YIELD_TARGET:.0%}\n")
 
-    baseline = design_balanced_pipeline(
-        pipeline, sizer, target_delay, PIPELINE_YIELD_TARGET,
-        stage_yield_target=STAGE_YIELD_BASELINE,
-    )
-
-    optimizer = GlobalPipelineOptimizer(sizer, curve_points=4)
-    result = optimizer.optimize(baseline.pipeline, target_delay, PIPELINE_YIELD_TARGET)
-
+    before = report.baseline
+    after = report.after
     rows = []
-    for index, name in enumerate(result.before.stage_names):
+    for index, name in enumerate(report.stage_names):
         rows.append([
             name,
-            round(result.before.stage_areas[index], 1),
-            round(100.0 * result.before.stage_yields[index], 1),
-            round(result.after.stage_areas[index], 1),
-            round(100.0 * result.after.stage_yields[index], 1),
+            round(before.stage_areas[index], 1),
+            round(100.0 * before.stage_yields[index], 1),
+            round(after.stage_areas[index], 1),
+            round(100.0 * after.stage_yields[index], 1),
         ])
     rows.append([
         "Pipeline",
-        round(result.before.total_area, 1),
-        round(100.0 * result.before.pipeline_yield, 1),
-        round(result.after.total_area, 1),
-        round(100.0 * result.after.pipeline_yield, 1),
+        round(before.total_area, 1),
+        round(100.0 * before.pipeline_yield, 1),
+        round(after.total_area, 1),
+        round(100.0 * after.pipeline_yield, 1),
     ])
     print(format_table(
         ["stage", "area before", "yield before (%)", "area after", "yield after (%)"],
@@ -76,13 +83,9 @@ def main() -> None:
         title="Individually optimized baseline vs. global optimization (Fig. 9 flow)",
     ))
     print()
-    print(f"Stage processing order (ascending R_i): {' -> '.join(result.stage_order)}")
-
-    engine = MonteCarloEngine(variation, n_samples=1500, seed=4)
-    mc_before = engine.run_pipeline(baseline.pipeline).yield_at(target_delay)
-    mc_after = engine.run_pipeline(result.pipeline).yield_at(target_delay)
-    print(f"Monte-Carlo pipeline yield: before {100*mc_before:.1f} %, "
-          f"after {100*mc_after:.1f} %")
+    print(f"Stage processing order (ascending R_i): {' -> '.join(report.stage_order)}")
+    print(f"Monte-Carlo pipeline yield: before {100*report.mc_yield_baseline:.1f} %, "
+          f"after {100*report.mc_yield:.1f} %")
 
 
 if __name__ == "__main__":

@@ -31,16 +31,30 @@ analysis
     Histogram, error-metric and report-formatting helpers shared by the
     benchmark harness.
 api
-    The unified Study API: declarative experiment specs, pluggable
-    delay-analysis backends behind one :class:`DelayReport`, cached
-    sessions and the scenario-sweep runner.  This facade is the preferred
+    The unified Study/Design API: declarative experiment specs, pluggable
+    delay-analysis backends behind one :class:`DelayReport`, pluggable
+    pipeline optimizers behind one :class:`DesignReport`, cached sessions
+    and the scenario-sweep runner.  This facade is the preferred
     entrypoint; the subpackages above remain the building blocks.
 """
 
 from repro.api.backends import DelayReport, available_backends, register_backend
+from repro.api.design import (
+    DesignReport,
+    available_optimizers,
+    register_optimizer,
+)
 from repro.api.session import Session, Study, run_study
-from repro.api.spec import AnalysisSpec, PipelineSpec, StudySpec, VariationSpec
+from repro.api.spec import (
+    AnalysisSpec,
+    DesignSpec,
+    DesignStudySpec,
+    PipelineSpec,
+    StudySpec,
+    VariationSpec,
+)
 from repro.api.sweep import ScenarioSweep, SweepResult, run_sweep
+from repro.optimize.sizers import available_sizers, register_sizer
 from repro.core.pipeline_delay import PipelineDelayEstimate, PipelineDelayModel
 from repro.core.stage_delay import StageDelayDistribution
 from repro.core.yield_model import (
@@ -66,6 +80,9 @@ __all__ = [
     "__version__",
     "AnalysisSpec",
     "DelayReport",
+    "DesignReport",
+    "DesignSpec",
+    "DesignStudySpec",
     "PipelineSpec",
     "ScenarioSweep",
     "Session",
@@ -74,7 +91,11 @@ __all__ = [
     "SweepResult",
     "VariationSpec",
     "available_backends",
+    "available_optimizers",
+    "available_sizers",
     "register_backend",
+    "register_optimizer",
+    "register_sizer",
     "run_study",
     "run_sweep",
     "StageDelayDistribution",

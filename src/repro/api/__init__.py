@@ -12,6 +12,10 @@ paper runs.  It is organised as four layers:
     The :class:`DelayAnalysisBackend` protocol, the backend registry
     (``montecarlo`` / ``analytic`` / ``ssta``) and the common typed
     :class:`DelayReport` every backend returns.
+:mod:`repro.api.design`
+    The :class:`PipelineOptimizer` protocol, the optimizer registry
+    (``balanced`` / ``redistribute`` / ``global``) and the common typed
+    :class:`DesignReport` every optimizer returns.
 :mod:`repro.api.session`
     :class:`Session` (caches pipelines, timing schedules, Monte-Carlo
     characterisations and SSTA engines across queries, with
@@ -32,9 +36,23 @@ from repro.api.backends import (
     get_backend,
     register_backend,
 )
+from repro.api.design import (
+    BalancedDesigner,
+    DesignReport,
+    DesignSnapshot,
+    GlobalDesigner,
+    PipelineOptimizer,
+    RedistributeDesigner,
+    SizingTrace,
+    available_optimizers,
+    get_optimizer,
+    register_optimizer,
+)
 from repro.api.session import Session, Study, derive_seed, run_study
 from repro.api.spec import (
     AnalysisSpec,
+    DesignSpec,
+    DesignStudySpec,
     PipelineSpec,
     StudySpec,
     VariationSpec,
@@ -46,23 +64,35 @@ from repro.api.sweep import ScenarioSweep, SweepPoint, SweepResult, run_sweep
 __all__ = [
     "AnalysisSpec",
     "AnalyticBackend",
+    "BalancedDesigner",
     "DelayAnalysisBackend",
     "DelayReport",
+    "DesignReport",
+    "DesignSnapshot",
+    "DesignSpec",
+    "DesignStudySpec",
+    "GlobalDesigner",
     "MonteCarloBackend",
+    "PipelineOptimizer",
     "PipelineSpec",
+    "RedistributeDesigner",
     "SSTABackend",
     "ScenarioSweep",
     "Session",
+    "SizingTrace",
     "Study",
     "StudySpec",
     "SweepPoint",
     "SweepResult",
     "VariationSpec",
     "available_backends",
+    "available_optimizers",
     "derive_seed",
     "get_backend",
+    "get_optimizer",
     "pipeline_kinds",
     "register_backend",
+    "register_optimizer",
     "register_pipeline_kind",
     "run_study",
     "run_sweep",

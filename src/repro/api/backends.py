@@ -303,6 +303,26 @@ def available_backends() -> tuple[str, ...]:
 # ----------------------------------------------------------------------
 # Built-in backends
 # ----------------------------------------------------------------------
+def delay_report_from_pipeline_run(run, backend: str = "montecarlo") -> DelayReport:
+    """Summarise a :class:`~repro.montecarlo.results.PipelineMonteCarloResult`.
+
+    Shared by the Monte-Carlo analysis backend and the Design API's
+    Monte-Carlo validation runs, so both speak the same empirical
+    :class:`DelayReport`.
+    """
+    pipe = run.pipeline_result()
+    return DelayReport(
+        backend=backend,
+        stage_names=run.stage_names,
+        stage_means=run.stage_means(),
+        stage_stds=run.stage_stds(),
+        correlation=run.correlation_matrix(),
+        pipeline_mean=pipe.mean,
+        pipeline_std=pipe.std,
+        samples=run.pipeline_samples,
+    )
+
+
 class MonteCarloBackend:
     """Sampled ground truth (the HSPICE Monte-Carlo stand-in)."""
 
@@ -310,17 +330,7 @@ class MonteCarloBackend:
 
     def analyze(self, session: "Session", study: StudySpec) -> DelayReport:
         run = session.montecarlo_run(study.pipeline, study.variation, study.analysis)
-        pipe = run.pipeline_result()
-        return DelayReport(
-            backend=self.name,
-            stage_names=run.stage_names,
-            stage_means=run.stage_means(),
-            stage_stds=run.stage_stds(),
-            correlation=run.correlation_matrix(),
-            pipeline_mean=pipe.mean,
-            pipeline_std=pipe.std,
-            samples=run.pipeline_samples,
-        )
+        return delay_report_from_pipeline_run(run, backend=self.name)
 
 
 class AnalyticBackend:

@@ -30,16 +30,36 @@ parallelism.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
-from repro.api.backends import DelayReport, available_backends, get_backend
-from repro.api.spec import AnalysisSpec, PipelineSpec, StudySpec, VariationSpec
+from repro.api.backends import (
+    DelayReport,
+    available_backends,
+    delay_report_from_pipeline_run,
+    get_backend,
+)
+from repro.api.spec import (
+    AnalysisSpec,
+    DesignSpec,
+    DesignStudySpec,
+    PipelineSpec,
+    StudySpec,
+    VariationSpec,
+)
 from repro.montecarlo.engine import MonteCarloEngine
 from repro.montecarlo.results import PipelineMonteCarloResult
+from repro.optimize.sizers import StageSizer, make_sizer
 from repro.pipeline.pipeline import Pipeline
 from repro.process.technology import Technology, default_technology
 from repro.process.variation import VariationModel
 from repro.timing.ssta import StatisticalTimingAnalyzer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.design import DesignReport
+    from repro.optimize.area_delay import AreaDelayCurve
+    from repro.optimize.balance import BalancedDesignResult
 
 DEFAULT_ROOT_SEED = 2005
 
@@ -69,8 +89,11 @@ class Session:
 
     Notes
     -----
-    Cached pipelines are shared between queries; treat them as read-only
-    and ``copy()`` before handing one to an optimizer that resizes gates.
+    Cached pipelines are shared between queries and are read-only.  Design
+    runs (:meth:`design`) never touch them: every flow reached through the
+    session operates on an automatic :meth:`~repro.pipeline.pipeline.Pipeline.copy`
+    (see :meth:`pipeline_copy`), so sizing one spec can never perturb a
+    later analysis query of the same spec.
     """
 
     def __init__(
@@ -83,6 +106,11 @@ class Session:
         self._mc_runs: dict[tuple, PipelineMonteCarloResult] = {}
         self._analyzers: dict[tuple, StatisticalTimingAnalyzer] = {}
         self._reports: dict[tuple, DelayReport] = {}
+        self._sizers: dict[tuple, StageSizer] = {}
+        self._balanced: dict[tuple, tuple] = {}
+        self._curves: dict[tuple, dict[str, "AreaDelayCurve"]] = {}
+        self._design_reports: dict[tuple, "DesignReport"] = {}
+        self._design_validations: dict[tuple, DelayReport] = {}
         self.cache_hits = 0
         self.cache_misses = 0
 
@@ -172,6 +200,153 @@ class Session:
         return analyzer
 
     # ------------------------------------------------------------------
+    # Cached design intermediates
+    # ------------------------------------------------------------------
+    def pipeline_copy(self, spec: PipelineSpec) -> Pipeline:
+        """A fresh, mutation-safe copy of the cached pipeline for ``spec``.
+
+        This is the only way design flows obtain pipelines: optimizers
+        resize gates in place, so handing out the cached (shared) pipeline
+        would corrupt every later analysis query.  The copy is cheap next to
+        a single sizing run.
+        """
+        return self.pipeline(spec).copy()
+
+    def sizer(self, variation_spec: VariationSpec, design: DesignSpec) -> StageSizer:
+        """Named stage sizer for a variation model, cached per strategy.
+
+        Caching shares the sizer's embedded SSTA engine (and its spatial
+        factor basis) across every design run of the same process setup.
+        """
+        key = (variation_spec, design.sizer_key())
+        sizer = self._sizers.get(key)
+        if sizer is None:
+            sizer = make_sizer(
+                design.sizer,
+                self.technology,
+                self.variation(variation_spec),
+                **dict(design.sizer_options),
+            )
+            self._sizers[key] = sizer
+        return sizer
+
+    def balanced_design(self, spec: DesignStudySpec):
+        """Balanced baseline + resolved targets, cached by the balance key.
+
+        Returns ``(balanced, target_delay, stage_yield_target,
+        stage_targets)`` where ``balanced`` is the
+        :class:`~repro.optimize.balance.BalancedDesignResult` every
+        optimizer starts from, ``target_delay`` is a float (or per-stage
+        mapping under the ``"stage_relative"`` policy) and ``stage_targets``
+        always maps stage name to its concrete delay target.  Two design
+        specs differing only in optimizer/redistribution/ordering knobs
+        share one cached baseline, which is what lets optimizer-axis sweep
+        points reuse the expensive sizing work.
+        """
+        from repro.api.design import derive_design_targets
+        from repro.optimize.balance import design_balanced_pipeline
+
+        design = spec.design
+        key = (spec.pipeline, spec.variation, design.balance_key())
+        cached = self._balanced.get(key)
+        if cached is None:
+            self.cache_misses += 1
+            base = self.pipeline_copy(spec.pipeline)
+            sizer = self.sizer(spec.variation, design)
+            target_delay, stage_yield = derive_design_targets(base, sizer, design)
+            balanced = design_balanced_pipeline(
+                base,
+                sizer,
+                target_delay,
+                design.yield_target,
+                stage_yield_target=stage_yield,
+            )
+            stage_targets = {
+                name: balanced.stage_results[name].target_delay
+                for name in balanced.pipeline.stage_names
+            }
+            cached = (balanced, target_delay, stage_yield, stage_targets)
+            self._balanced[key] = cached
+        else:
+            self.cache_hits += 1
+        return cached
+
+    def area_delay_curves(
+        self, spec: DesignStudySpec, curve_yield: float
+    ) -> dict[str, "AreaDelayCurve"]:
+        """Per-stage area-vs-delay curves (Fig. 8), cached per (stage, sizer).
+
+        Characterisation sweeps always start from the all-minimum-size
+        design, so the curves are independent of any current sizing; they
+        are characterised on a private pipeline copy and shared by every
+        optimizer, mode and sweep point with the same sizer strategy.
+        """
+        from repro.optimize.area_delay import characterize_stage
+
+        design = spec.design
+        key = (
+            spec.pipeline,
+            spec.variation,
+            design.sizer_key(),
+            float(curve_yield),
+            design.curve_points,
+        )
+        curves = self._curves.get(key)
+        if curves is None:
+            self.cache_misses += 1
+            base = self.pipeline_copy(spec.pipeline)
+            sizer = self.sizer(spec.variation, design)
+            curves = {
+                stage.name: characterize_stage(
+                    stage, sizer, curve_yield, n_points=design.curve_points
+                )
+                for stage in base.stages
+            }
+            self._curves[key] = curves
+        else:
+            self.cache_hits += 1
+        return curves
+
+    def validate_design(
+        self,
+        spec: DesignStudySpec,
+        pipeline: Pipeline,
+        cache_key: tuple | None = None,
+    ) -> DelayReport:
+        """Monte-Carlo validation of a designed pipeline.
+
+        ``cache_key`` identifies pipelines that several reports validate
+        (the balanced baseline); per-design pipelines are unique, so their
+        validations are cached with the report itself.
+        """
+        analysis = spec.validation
+        if analysis is None:
+            raise ValueError("spec has no validation AnalysisSpec")
+        seed = self.resolve_seed(analysis)
+        key = None
+        if cache_key is not None:
+            key = cache_key + (
+                analysis.n_samples, seed, analysis.grid_size, analysis.chunk_size,
+            )
+            cached = self._design_validations.get(key)
+            if cached is not None:
+                self.cache_hits += 1
+                return cached
+        engine = MonteCarloEngine(
+            self.variation(spec.variation),
+            technology=self.technology,
+            n_samples=analysis.n_samples,
+            seed=seed,
+            grid_size=analysis.grid_size,
+            chunk_size=analysis.chunk_size,
+        )
+        report = delay_report_from_pipeline_run(engine.run_pipeline(pipeline))
+        if key is not None:
+            self.cache_misses += 1
+            self._design_validations[key] = report
+        return report
+
+    # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
     def analyze(self, study: StudySpec, backend: str | None = None) -> DelayReport:
@@ -197,6 +372,38 @@ class Session:
         """Clock period achieving a target yield through any backend."""
         return self.analyze(study, backend=backend).delay_at_yield(target_yield)
 
+    def design(
+        self, spec: DesignStudySpec, optimizer: str | None = None
+    ) -> "DesignReport":
+        """Run a design study through its (or an overridden) optimizer.
+
+        The optimizer operates on an automatic copy of the cached pipeline,
+        so the session's analysis caches stay valid; the balanced baseline,
+        area--delay curves, sizers and baseline validations are all reused
+        from the session across optimizers and sweep points.
+        """
+        from repro.api.design import get_optimizer
+
+        if optimizer is not None:
+            spec = spec.with_optimizer(optimizer)
+        key = (spec.pipeline, spec.variation, spec.design, spec.validation)
+        report = self._design_reports.get(key)
+        if report is None:
+            report = get_optimizer(spec.design.optimizer).design(self, spec)
+            self._design_reports[key] = report
+        return report
+
+    def run(self, spec: StudySpec | DesignStudySpec):
+        """Answer either kind of study: analysis or design.
+
+        Dispatches on the spec type, so sweeps and one-shot facades treat
+        :class:`~repro.api.spec.StudySpec` and
+        :class:`~repro.api.spec.DesignStudySpec` uniformly.
+        """
+        if isinstance(spec, DesignStudySpec):
+            return self.design(spec)
+        return self.analyze(spec)
+
     def clear(self) -> None:
         """Drop every cached intermediate and report."""
         self._pipelines.clear()
@@ -204,6 +411,11 @@ class Session:
         self._mc_runs.clear()
         self._analyzers.clear()
         self._reports.clear()
+        self._sizers.clear()
+        self._balanced.clear()
+        self._curves.clear()
+        self._design_reports.clear()
+        self._design_validations.clear()
         self.cache_hits = 0
         self.cache_misses = 0
 
@@ -308,15 +520,22 @@ class Study:
 
 
 def run_study(
-    study: StudySpec | Study,
+    study: StudySpec | DesignStudySpec | Study,
     session: Session | None = None,
     backend: str | None = None,
-) -> DelayReport:
-    """One-shot facade: run a study spec (or Study) and return its report."""
+):
+    """One-shot facade: run a study spec (or Study) and return its report.
+
+    Accepts analysis studies (returning a :class:`DelayReport`) and design
+    studies (returning a :class:`~repro.api.design.DesignReport`); for a
+    design study ``backend`` overrides the spec's optimizer name.
+    """
     if isinstance(study, Study):
         if session is not None and session is not study.session:
             return session.analyze(study.spec, backend=backend)
         return study.run(backend=backend)
     if session is None:
         session = Session()
+    if isinstance(study, DesignStudySpec):
+        return session.design(study, optimizer=backend)
     return session.analyze(study, backend=backend)

@@ -15,7 +15,13 @@ dataclasses that round-trip through JSON:
   (``"montecarlo"``, ``"ssta"``, ``"analytic"``) and its sampling/seeding
   parameters,
 * :class:`StudySpec` -- the full experiment: pipeline + variation +
-  analysis + optional yield/quantile targets.
+  analysis + optional yield/quantile targets,
+* :class:`DesignSpec` -- which pipeline optimizer designs the circuit
+  (``"balanced"``, ``"redistribute"``, ``"global"``), with which stage-sizer
+  strategy (``"lagrangian"``, ``"greedy"``), toward which yield/delay
+  targets,
+* :class:`DesignStudySpec` -- the full design experiment: pipeline +
+  variation + design + optional Monte-Carlo validation.
 
 Because every spec is frozen and hashable it doubles as a cache key: the
 :class:`repro.api.session.Session` memoises built pipelines, Monte-Carlo
@@ -33,6 +39,9 @@ from typing import Any, Callable, Mapping
 from repro.process.variation import VariationModel
 
 _ORDERINGS = ("increasing", "decreasing", "given")
+_STAGE_ORDERINGS = ("ri_ascending", "ri_descending", "pipeline")
+_DELAY_POLICIES = ("stage_max", "stage_min", "sized", "stage_relative")
+_REDISTRIBUTION_MODES = ("best", "worst")
 
 
 # ----------------------------------------------------------------------
@@ -449,4 +458,249 @@ class StudySpec:
 
     @classmethod
     def from_json(cls, text: str) -> "StudySpec":
+        return cls.from_dict(json.loads(text))
+
+
+# ----------------------------------------------------------------------
+# Design specification
+# ----------------------------------------------------------------------
+def _as_options(value: Any) -> tuple[tuple[str, Any], ...]:
+    """Coerce sizer options (mapping or pair sequence) to hashable form.
+
+    Pairs are sorted by key so two specs with the same options written in a
+    different order compare (and hash) equal -- they are cache keys.
+    """
+    if isinstance(value, Mapping):
+        items = value.items()
+    else:
+        items = [(k, v) for k, v in value]
+    return tuple(sorted((str(k), v) for k, v in items))
+
+
+@dataclass(frozen=True)
+class DesignSpec:
+    """Which optimizer designs the pipeline, toward which targets.
+
+    Parameters
+    ----------
+    optimizer:
+        Registered pipeline-optimizer name.  Built in: ``"balanced"`` (the
+        paper's conventional flow, eq. 12 yield split), ``"redistribute"``
+        (constant-area eq. 14 imbalance, Fig. 7) and ``"global"`` (the
+        Fig. 9 R_i-ordered global statistical sizing).  Validated against
+        the registry when the optimizer is resolved, so optimizers
+        registered via :func:`repro.api.design.register_optimizer` work
+        transparently.
+    sizer:
+        Stage-sizer strategy name (``"lagrangian"``, ``"greedy"``, or any
+        name registered with :func:`repro.optimize.sizers.register_sizer`).
+    sizer_options:
+        Keyword knobs forwarded to the sizer factory (``max_outer``,
+        ``max_moves``, ``min_size``...), stored as a key-sorted tuple of
+        ``(name, value)`` pairs so the spec stays frozen, hashable and
+        order-insensitive; a plain dict is accepted and coerced.
+    yield_target:
+        Pipeline yield target ``Y``.
+    stage_yield:
+        Optional explicit per-stage yield budget for the balanced baseline
+        (Tables II/III use 0.95); ``None`` applies the equal split
+        ``Y ** (1/N)`` (eq. 12).
+    delay_target:
+        Explicit pipeline delay target ``T_TARGET`` in seconds; ``None``
+        derives it from ``delay_policy``.
+    delay_policy:
+        How to derive the delay target when ``delay_target`` is ``None``,
+        always scaled by ``delay_scale``:
+
+        * ``"stage_max"`` -- the slowest stage's current delay at the stage
+          yield budget (Table III's comfortably reachable target),
+        * ``"stage_min"`` -- the fastest stage's current delay (Fig. 7's
+          aggressive common target),
+        * ``"sized"`` -- aggressively size every stage (target
+          ``delay_probe`` x its current delay) and take the slowest
+          *achieved* delay (Table II's "just below what the hardest stage
+          can reach"),
+        * ``"stage_relative"`` -- per-stage targets, each stage at
+          ``delay_scale`` x its own current delay (sizer-ablation style;
+          ``balanced`` optimizer only).
+    delay_scale / delay_probe:
+        Scale factor applied to the policy's reference delay, and the
+        aggressiveness of the ``"sized"`` policy's probe sizing runs.
+    curve_points:
+        Points per stage in area-vs-delay characterisations (Fig. 8).
+    ordering:
+        Stage processing order of the global optimizer (``"ri_ascending"``
+        is the paper's choice).
+    rounds:
+        Passes of the global optimizer over the stages.
+    max_stage_yield:
+        Cap on per-stage yield requirements in the global optimizer.
+    fraction / mode:
+        Redistribution knobs (Fig. 7): fraction of donor area moved, and
+        whether the eq. 14 assignment is followed (``"best"``) or inverted
+        (``"worst"``).
+    """
+
+    optimizer: str = "global"
+    sizer: str = "lagrangian"
+    sizer_options: tuple[tuple[str, Any], ...] = ()
+    yield_target: float = 0.80
+    stage_yield: float | None = None
+    delay_target: float | None = None
+    delay_policy: str = "stage_max"
+    delay_scale: float = 1.0
+    delay_probe: float = 0.6
+    curve_points: int = 4
+    ordering: str = "ri_ascending"
+    rounds: int = 1
+    max_stage_yield: float = 0.9995
+    fraction: float = 0.15
+    mode: str = "best"
+
+    def __post_init__(self) -> None:
+        if not self.optimizer or not isinstance(self.optimizer, str):
+            raise ValueError(
+                f"optimizer must be a non-empty string, got {self.optimizer!r}"
+            )
+        if not self.sizer or not isinstance(self.sizer, str):
+            raise ValueError(f"sizer must be a non-empty string, got {self.sizer!r}")
+        object.__setattr__(self, "sizer_options", _as_options(self.sizer_options))
+        if not 0.0 < self.yield_target < 1.0:
+            raise ValueError(
+                f"yield_target must be in (0, 1), got {self.yield_target}"
+            )
+        if self.stage_yield is not None and not 0.0 < self.stage_yield < 1.0:
+            raise ValueError(
+                f"stage_yield must be None or in (0, 1), got {self.stage_yield}"
+            )
+        if self.delay_target is not None and self.delay_target <= 0.0:
+            raise ValueError(
+                f"delay_target must be None or positive, got {self.delay_target}"
+            )
+        if self.delay_policy not in _DELAY_POLICIES:
+            raise ValueError(
+                f"delay_policy must be one of {_DELAY_POLICIES}, "
+                f"got {self.delay_policy!r}"
+            )
+        if self.delay_scale <= 0.0:
+            raise ValueError(f"delay_scale must be positive, got {self.delay_scale}")
+        if not 0.0 < self.delay_probe <= 1.0:
+            raise ValueError(
+                f"delay_probe must be in (0, 1], got {self.delay_probe}"
+            )
+        if self.curve_points < 1:
+            raise ValueError(f"curve_points must be at least 1, got {self.curve_points}")
+        if self.ordering not in _STAGE_ORDERINGS:
+            raise ValueError(
+                f"ordering must be one of {_STAGE_ORDERINGS}, got {self.ordering!r}"
+            )
+        if self.rounds < 1:
+            raise ValueError(f"rounds must be at least 1, got {self.rounds}")
+        if not 0.5 < self.max_stage_yield < 1.0:
+            raise ValueError(
+                f"max_stage_yield must be in (0.5, 1), got {self.max_stage_yield}"
+            )
+        if not 0.0 < self.fraction < 0.9:
+            raise ValueError(f"fraction must be in (0, 0.9), got {self.fraction}")
+        if self.mode not in _REDISTRIBUTION_MODES:
+            raise ValueError(
+                f"mode must be one of {_REDISTRIBUTION_MODES}, got {self.mode!r}"
+            )
+
+    # -- derived keys ----------------------------------------------------
+    def balance_key(self) -> tuple:
+        """The fields that determine the balanced baseline (and its targets).
+
+        Two design specs with equal balance keys share the session-cached
+        balanced design and target-delay derivation regardless of which
+        optimizer, redistribution mode or characterisation depth they use.
+        """
+        return (
+            self.sizer,
+            self.sizer_options,
+            self.yield_target,
+            self.stage_yield,
+            self.delay_target,
+            self.delay_policy,
+            self.delay_scale,
+            self.delay_probe,
+        )
+
+    def sizer_key(self) -> tuple:
+        """The fields that determine the sizer instance."""
+        return (self.sizer, self.sizer_options)
+
+    def with_optimizer(self, optimizer: str) -> "DesignSpec":
+        """Copy of this spec handled by a different optimizer."""
+        return dataclasses.replace(self, optimizer=optimizer)
+
+    # -- serialisation --------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        data = _spec_to_dict(self)
+        data["sizer_options"] = {name: value for name, value in self.sizer_options}
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "DesignSpec":
+        _check_fields(cls, data)
+        return cls(**dict(data))
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "DesignSpec":
+        return cls.from_dict(json.loads(text))
+
+
+# ----------------------------------------------------------------------
+# Design-study specification
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class DesignStudySpec:
+    """One complete design experiment: pipeline + variation + design (+ MC).
+
+    ``validation`` describes the Monte-Carlo run that cross-checks the
+    designed pipeline's yield (its ``backend`` field is ignored -- the
+    validation is always sampled); ``None`` skips validation, leaving the
+    report with model-predicted yields only.
+    """
+
+    pipeline: PipelineSpec = field(default_factory=PipelineSpec)
+    variation: VariationSpec = field(default_factory=VariationSpec)
+    design: DesignSpec = field(default_factory=DesignSpec)
+    validation: AnalysisSpec | None = None
+    name: str = ""
+
+    def with_optimizer(self, optimizer: str) -> "DesignStudySpec":
+        """Copy of this study handled by a different optimizer."""
+        return dataclasses.replace(self, design=self.design.with_optimizer(optimizer))
+
+    def replace(self, **changes: Any) -> "DesignStudySpec":
+        """``dataclasses.replace`` convenience for sweep/axis code."""
+        return dataclasses.replace(self, **changes)
+
+    # -- serialisation --------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        return _spec_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "DesignStudySpec":
+        _check_fields(cls, data)
+        data = dict(data)
+        if "pipeline" in data and isinstance(data["pipeline"], Mapping):
+            data["pipeline"] = PipelineSpec.from_dict(data["pipeline"])
+        if "variation" in data and isinstance(data["variation"], Mapping):
+            data["variation"] = VariationSpec.from_dict(data["variation"])
+        if "design" in data and isinstance(data["design"], Mapping):
+            data["design"] = DesignSpec.from_dict(data["design"])
+        if "validation" in data and isinstance(data["validation"], Mapping):
+            data["validation"] = AnalysisSpec.from_dict(data["validation"])
+        return cls(**data)
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "DesignStudySpec":
         return cls.from_dict(json.loads(text))

@@ -2,8 +2,8 @@
 
 A sweep is "this base study, but vary these knobs": stage count, logic
 depth, variation mix, sigma scaling, sample count, backend, yield target --
-any field of the nested :class:`~repro.api.spec.StudySpec` addressed by a
-dotted path::
+any field of the nested :class:`~repro.api.spec.StudySpec` or
+:class:`~repro.api.spec.DesignStudySpec` addressed by a dotted path::
 
     sweep = ScenarioSweep(
         base_spec,
@@ -16,13 +16,19 @@ dotted path::
         print(point.coords, point.report.variability)
     result = sweep.run(n_jobs=4)                # optional process fan-out
 
+Design axes compose with analysis axes the same way: a
+``DesignStudySpec`` base sweeps over ``design.yield_target``,
+``design.optimizer``, ``variation.sigma_scale``... and each point returns a
+:class:`~repro.api.design.DesignReport`.
+
 ``mode="grid"`` takes the Cartesian product of the axes (the default);
 ``mode="zip"`` pairs them elementwise like :func:`zip`.  Points reuse the
-session's cached pipelines, schedules and engines wherever specs coincide,
-and each sampled point gets an independent child seed via
-``numpy.random.SeedSequence`` spawning (see :func:`repro.api.session.derive_seed`)
-unless ``seed_policy="fixed"`` pins the base seed everywhere -- reproducible
-either way, independent of execution order and parallelism.
+session's cached pipelines, schedules, engines, balanced baselines and
+area--delay curves wherever specs coincide, and each sampled point gets an
+independent child seed via ``numpy.random.SeedSequence`` spawning (see
+:func:`repro.api.session.derive_seed`) unless ``seed_policy="fixed"`` pins
+the base seed everywhere -- reproducible either way, independent of
+execution order and parallelism.
 """
 
 from __future__ import annotations
@@ -30,46 +36,91 @@ from __future__ import annotations
 import dataclasses
 import itertools
 from dataclasses import dataclass
-from typing import Any, Iterator, Mapping, Sequence
+from typing import Any, Iterator, Mapping, Sequence, Union
 
 from repro.analysis.reporting import format_table
 from repro.api.backends import DelayReport
 from repro.api.session import Session, derive_seed
-from repro.api.spec import StudySpec
+from repro.api.spec import AnalysisSpec, DesignStudySpec, StudySpec
 
-_SECTIONS = ("pipeline", "variation", "analysis")
+_SECTIONS = {
+    StudySpec: ("pipeline", "variation", "analysis"),
+    DesignStudySpec: ("pipeline", "variation", "design", "validation"),
+}
 _SEED_POLICIES = ("spawn", "fixed")
+# Axes that compare engines rather than change the experiment: points
+# differing only along these keep one RNG stream, so backend comparisons
+# reuse the cached characterisation and optimizer/sizer comparisons reuse
+# the cached balanced baseline and area-delay curves.  ``sizer_options``
+# rides along with ``sizer`` so zip-mode sizer sweeps (which pair the two)
+# validate every sizer on the same sample stream.
+_COMPARISON_AXES = frozenset(
+    {"analysis.backend", "analysis.seed", "validation.seed",
+     "design.optimizer", "design.sizer", "design.sizer_options"}
+)
+
+AnySpec = Union[StudySpec, DesignStudySpec]
 
 
-def apply_axis(spec: StudySpec, path: str, value: Any) -> StudySpec:
+def apply_axis(spec: AnySpec, path: str, value: Any) -> AnySpec:
     """Return ``spec`` with the field addressed by ``path`` set to ``value``.
 
     Paths are ``"section.field"`` for the nested specs (``pipeline.n_stages``,
-    ``variation.sigma_scale``, ``analysis.backend``...) or a bare top-level
-    ``StudySpec`` field name (``target_yield``, ``name``).
+    ``variation.sigma_scale``, ``analysis.backend``, ``design.yield_target``,
+    ``validation.n_samples``...) or a bare top-level spec field name
+    (``target_yield``, ``name``).
     """
+    sections = _SECTIONS[type(spec)]
     section, _, field_name = path.partition(".")
     if not field_name:
         return spec.replace(**{section: value})
     if section == "study":
         return spec.replace(**{field_name: value})
-    if section not in _SECTIONS:
+    if section not in sections:
         raise ValueError(
-            f"axis path {path!r} must start with one of {_SECTIONS + ('study',)} "
-            "or name a top-level StudySpec field"
+            f"axis path {path!r} must start with one of {sections + ('study',)} "
+            f"or name a top-level {type(spec).__name__} field"
         )
-    part = dataclasses.replace(getattr(spec, section), **{field_name: value})
+    part = getattr(spec, section)
+    if part is None and section == "validation":
+        part = AnalysisSpec()
+    part = dataclasses.replace(part, **{field_name: value})
     return spec.replace(**{section: part})
+
+
+def _point_seed(spec: AnySpec) -> int | None:
+    """The seed field a sweep point's sampling derives from, if any."""
+    if isinstance(spec, DesignStudySpec):
+        return spec.validation.seed if spec.validation is not None else None
+    return spec.analysis.seed
+
+
+def _with_point_seed(spec: AnySpec, seed: int) -> AnySpec:
+    """Copy of ``spec`` with its sampling seed replaced."""
+    if isinstance(spec, DesignStudySpec):
+        if spec.validation is None:
+            return spec
+        return spec.replace(validation=spec.validation.with_seed(seed))
+    return spec.replace(analysis=spec.analysis.with_seed(seed))
+
+
+def _seed_axis(spec: AnySpec) -> str:
+    """The dotted path of the spec's sampling-seed field."""
+    return "validation.seed" if isinstance(spec, DesignStudySpec) else "analysis.seed"
 
 
 @dataclass(frozen=True)
 class SweepPoint:
-    """One evaluated sweep point: its coordinates, derived spec and report."""
+    """One evaluated sweep point: its coordinates, derived spec and report.
+
+    ``report`` is a :class:`~repro.api.backends.DelayReport` for analysis
+    sweeps and a :class:`~repro.api.design.DesignReport` for design sweeps.
+    """
 
     index: int
     coords: tuple[tuple[str, Any], ...]
-    spec: StudySpec
-    report: DelayReport
+    spec: AnySpec
+    report: Any
 
     def coord(self, path: str) -> Any:
         """Value of one axis at this point."""
@@ -83,10 +134,9 @@ class SweepPoint:
         """Flat dict of coordinates plus the report's scalar summary."""
         row = {key: value for key, value in self.coords}
         row.update(self.report.summary())
-        if self.spec.target_yield is not None:
-            row["delay_at_target_yield"] = self.report.delay_at_yield(
-                self.spec.target_yield
-            )
+        target_yield = getattr(self.spec, "target_yield", None)
+        if target_yield is not None and isinstance(self.report, DelayReport):
+            row["delay_at_target_yield"] = self.report.delay_at_yield(target_yield)
         return row
 
 
@@ -155,7 +205,7 @@ class ScenarioSweep:
 
     def __init__(
         self,
-        base: StudySpec,
+        base: AnySpec,
         axes: Mapping[str, Sequence[Any]],
         mode: str = "grid",
         seed_policy: str = "spawn",
@@ -198,7 +248,7 @@ class ScenarioSweep:
 
     def _build_specs(
         self,
-    ) -> list[tuple[tuple[tuple[str, Any], ...], StudySpec, tuple[int, ...]]]:
+    ) -> list[tuple[tuple[tuple[str, Any], ...], AnySpec, tuple[int, ...]]]:
         paths = list(self.axes)
         points = []
         for combo in self._combinations():
@@ -208,7 +258,7 @@ class ScenarioSweep:
             branch = tuple(
                 value_index
                 for path, (value_index, _) in zip(paths, combo)
-                if path not in ("analysis.backend", "analysis.seed")
+                if path not in _COMPARISON_AXES
             )
             spec = self.base
             for path, value in coords:
@@ -217,31 +267,32 @@ class ScenarioSweep:
             points.append((coords, spec, branch))
         return points
 
-    def _spawning(self, spec: StudySpec) -> bool:
-        return self.seed_policy == "spawn" and "analysis.seed" not in self.axes
+    def _spawning(self, spec: AnySpec) -> bool:
+        return self.seed_policy == "spawn" and _seed_axis(spec) not in self.axes
 
-    def _reseed(self, spec: StudySpec, branch: tuple[int, ...]) -> StudySpec:
+    def _reseed(self, spec: AnySpec, branch: tuple[int, ...]) -> AnySpec:
         """Spawn this point's seed from the base seed (construction time).
 
-        The branch path excludes backend axes, so points differing only in
-        backend share a seed (and therefore the cached Monte-Carlo
-        characterisation).  A ``None`` base seed means "let the session
-        choose" and is resolved against the executing session's root seed in
+        The branch path excludes the comparison axes (backend, optimizer,
+        sizer), so points differing only along those share a seed -- and
+        therefore the cached Monte-Carlo characterisation or design
+        baseline.  A ``None`` base seed means "let the session choose" and
+        is resolved against the executing session's root seed in
         :meth:`_final_spec` instead.
         """
-        if not self._spawning(spec) or spec.analysis.seed is None:
+        if not self._spawning(spec) or _point_seed(spec) is None:
             return spec
-        seed = derive_seed(spec.analysis.seed, *branch)
-        return spec.replace(analysis=spec.analysis.with_seed(seed))
+        return _with_point_seed(spec, derive_seed(_point_seed(spec), *branch))
 
     def _final_spec(
-        self, spec: StudySpec, branch: tuple[int, ...], root_seed: int
-    ) -> StudySpec:
+        self, spec: AnySpec, branch: tuple[int, ...], root_seed: int
+    ) -> AnySpec:
         """Resolve a deferred (None-seed) spawn against the executing session."""
-        if not self._spawning(spec) or spec.analysis.seed is not None:
+        if not self._spawning(spec) or _point_seed(spec) is not None:
             return spec
-        seed = derive_seed(root_seed, *branch)
-        return spec.replace(analysis=spec.analysis.with_seed(seed))
+        if isinstance(spec, DesignStudySpec) and spec.validation is None:
+            return spec
+        return _with_point_seed(spec, derive_seed(root_seed, *branch))
 
     # ------------------------------------------------------------------
     # Introspection
@@ -249,7 +300,7 @@ class ScenarioSweep:
     def __len__(self) -> int:
         return len(self._points)
 
-    def specs(self) -> list[StudySpec]:
+    def specs(self) -> list[AnySpec]:
         """The derived per-point study specs, in sweep order.
 
         Points whose base seed is ``None`` still show ``seed=None`` here;
@@ -276,7 +327,7 @@ class ScenarioSweep:
             session = self.session if self.session is not None else Session()
         for index, (coords, spec, branch) in enumerate(self._points):
             spec = self._final_spec(spec, branch, session.root_seed)
-            yield SweepPoint(index, coords, spec, session.analyze(spec))
+            yield SweepPoint(index, coords, spec, session.run(spec))
 
     def run(
         self, session: Session | None = None, n_jobs: int | None = None
@@ -359,11 +410,11 @@ def _evaluate_point(payload: tuple) -> SweepPoint:
         or _WORKER_SESSION.root_seed != root_seed
     ):
         _WORKER_SESSION = Session(technology=technology, root_seed=root_seed)
-    return SweepPoint(index, coords, spec, _WORKER_SESSION.analyze(spec))
+    return SweepPoint(index, coords, spec, _WORKER_SESSION.run(spec))
 
 
 def run_sweep(
-    base: StudySpec,
+    base: AnySpec,
     axes: Mapping[str, Sequence[Any]],
     mode: str = "grid",
     session: Session | None = None,

@@ -6,6 +6,9 @@ primitive -- "minimise the area of one stage subject to a statistical delay
 into a global pipeline optimization (Fig. 9).  This subpackage provides:
 
 * :mod:`repro.optimize.result` -- result containers shared by the sizers.
+* :mod:`repro.optimize.sizers` -- the :class:`StageSizer` strategy protocol
+  and the named sizer registry (``"lagrangian"``, ``"greedy"``) that the
+  Design API (:mod:`repro.api.design`) resolves specs against.
 * :mod:`repro.optimize.lagrangian` -- the primary sizer: an iterative
   Lagrangian-relaxation-style statistical gate sizer with a closed-form
   per-gate resize step and a criticality-driven multiplier update.
@@ -26,6 +29,13 @@ into a global pipeline optimization (Fig. 9).  This subpackage provides:
 from repro.optimize.result import SizingResult, StageDesignRecord
 from repro.optimize.lagrangian import LagrangianSizer
 from repro.optimize.greedy import GreedySizer
+from repro.optimize.sizers import (
+    StageSizer,
+    available_sizers,
+    get_sizer_factory,
+    make_sizer,
+    register_sizer,
+)
 from repro.optimize.area_delay import AreaDelayCurve, AreaDelayPoint, characterize_stage
 from repro.optimize.balance import design_balanced_pipeline, BalancedDesignResult
 from repro.optimize.redistribute import redistribute_area, RedistributionResult
@@ -36,6 +46,11 @@ __all__ = [
     "StageDesignRecord",
     "LagrangianSizer",
     "GreedySizer",
+    "StageSizer",
+    "available_sizers",
+    "get_sizer_factory",
+    "make_sizer",
+    "register_sizer",
     "AreaDelayCurve",
     "AreaDelayPoint",
     "characterize_stage",

@@ -11,6 +11,7 @@ and III and the "balanced" curve of Fig. 7.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Mapping
 
 import numpy as np
 
@@ -22,13 +23,19 @@ from repro.pipeline.pipeline import Pipeline
 
 @dataclass(frozen=True)
 class BalancedDesignResult:
-    """Outcome of the balanced (stage-independent) design flow."""
+    """Outcome of the balanced (stage-independent) design flow.
+
+    ``target_delay`` is the common stage target; when the flow was run with
+    per-stage targets it is the loosest (largest) of them and
+    ``stage_targets`` holds the individual values.
+    """
 
     pipeline: Pipeline
     stage_results: dict[str, SizingResult]
     target_delay: float
     pipeline_yield_target: float
     stage_yield_target: float
+    stage_targets: dict[str, float] | None = None
 
     @property
     def total_area(self) -> float:
@@ -62,7 +69,7 @@ class BalancedDesignResult:
 def design_balanced_pipeline(
     pipeline: Pipeline,
     sizer,
-    target_delay: float,
+    target_delay: float | Mapping[str, float],
     pipeline_yield_target: float,
     stage_yield_target: float | None = None,
 ) -> BalancedDesignResult:
@@ -73,9 +80,11 @@ def design_balanced_pipeline(
     pipeline:
         Pipeline to size; a copy is made, the input is left untouched.
     sizer:
-        Stage sizer (Lagrangian or greedy).
+        Any registered stage sizer (see :mod:`repro.optimize.sizers`).
     target_delay:
-        Common stage delay target in seconds (the intended clock period).
+        Common stage delay target in seconds (the intended clock period), or
+        a per-stage mapping ``{stage_name: target}`` for flows that speed up
+        every stage relative to its own baseline.
     pipeline_yield_target:
         Desired pipeline yield; split equally over stages unless
         ``stage_yield_target`` is given explicitly.
@@ -87,7 +96,14 @@ def design_balanced_pipeline(
     BalancedDesignResult
         The sized pipeline copy plus per-stage sizing results.
     """
-    if target_delay <= 0.0:
+    if isinstance(target_delay, Mapping):
+        stage_targets = {name: float(value) for name, value in target_delay.items()}
+        missing = set(pipeline.stage_names) - set(stage_targets)
+        if missing:
+            raise KeyError(f"missing stage delay targets for: {sorted(missing)}")
+    else:
+        stage_targets = {name: float(target_delay) for name in pipeline.stage_names}
+    if any(value <= 0.0 for value in stage_targets.values()):
         raise ValueError(f"target_delay must be positive, got {target_delay}")
     designed = pipeline.copy(f"{pipeline.name}_balanced")
     if stage_yield_target is None:
@@ -97,12 +113,13 @@ def design_balanced_pipeline(
     stage_results: dict[str, SizingResult] = {}
     for stage in designed.stages:
         stage_results[stage.name] = sizer.size_stage(
-            stage, target_delay, stage_yield_target, apply=True
+            stage, stage_targets[stage.name], stage_yield_target, apply=True
         )
     return BalancedDesignResult(
         pipeline=designed,
         stage_results=stage_results,
-        target_delay=target_delay,
+        target_delay=max(stage_targets.values()),
         pipeline_yield_target=pipeline_yield_target,
         stage_yield_target=stage_yield_target,
+        stage_targets=stage_targets if isinstance(target_delay, Mapping) else None,
     )

@@ -39,6 +39,31 @@ from repro.optimize.result import SizingResult
 from repro.pipeline.pipeline import Pipeline
 
 
+def pipeline_stage_statistics(
+    sizer, pipeline: Pipeline
+) -> tuple[list[StageDelayDistribution], np.ndarray]:
+    """Stage delay distributions and their correlation matrix (SSTA).
+
+    The canonical "full-pipeline statistics at current sizes" computation,
+    shared by the Fig. 9 optimizer below and the Design API's report
+    assembly/snapshots (:mod:`repro.api.design`); ``sizer`` is any
+    :class:`~repro.optimize.sizers.StageSizer` (its embedded SSTA engine is
+    used).
+    """
+    forms = [
+        sizer.ssta.stage_delay(
+            stage.netlist, stage.flipflop, stage.register_position
+        )
+        for stage in pipeline.stages
+    ]
+    distributions = [
+        StageDelayDistribution.from_canonical(form, name=stage.name)
+        for form, stage in zip(forms, pipeline.stages)
+    ]
+    correlations = sizer.ssta.correlation_matrix(forms)
+    return distributions, correlations
+
+
 @dataclass(frozen=True)
 class PipelineSnapshot:
     """Areas, per-stage yields and pipeline yield of a pipeline at one point."""
@@ -132,18 +157,7 @@ class GlobalPipelineOptimizer:
         self, pipeline: Pipeline
     ) -> tuple[list[StageDelayDistribution], np.ndarray]:
         """Stage delay distributions and their correlation matrix (SSTA)."""
-        forms = [
-            self.sizer.ssta.stage_delay(
-                stage.netlist, stage.flipflop, stage.register_position
-            )
-            for stage in pipeline.stages
-        ]
-        distributions = [
-            StageDelayDistribution.from_canonical(form, name=stage.name)
-            for form, stage in zip(forms, pipeline.stages)
-        ]
-        correlations = self.sizer.ssta.correlation_matrix(forms)
-        return distributions, correlations
+        return pipeline_stage_statistics(self.sizer, pipeline)
 
     def pipeline_yield(self, pipeline: Pipeline, target_delay: float) -> float:
         """Full-pipeline yield at a target delay from the statistical model."""

@@ -15,6 +15,8 @@ refreshed with SSTA every ``sigma_refresh`` accepted moves.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 from scipy.stats import norm
 
@@ -77,6 +79,7 @@ class GreedySizer:
         if not 0.0 < target_yield < 1.0:
             raise ValueError(f"target_yield must be in (0, 1), got {target_yield}")
 
+        start_time = time.perf_counter()
         netlist = stage.netlist
         n_gates = netlist.n_gates
         if n_gates == 0:
@@ -178,4 +181,22 @@ class GreedySizer:
             achieved_yield=achieved_yield,
             met_target=met,
             iterations=moves,
+            seconds=time.perf_counter() - start_time,
         )
+
+    # ------------------------------------------------------------------
+    # Convenience queries (shared sizer-strategy surface)
+    # ------------------------------------------------------------------
+    def stage_distribution(self, stage: PipelineStage) -> StageDelayDistribution:
+        """Stage delay distribution at the stage's current sizes."""
+        form = self._stage_form(stage, stage.netlist.sizes())
+        return StageDelayDistribution.from_canonical(form, name=stage.name)
+
+    def minimum_area_delay(
+        self, stage: PipelineStage, target_yield: float
+    ) -> tuple[float, float]:
+        """Delay (at the target yield) and area of the all-minimum-size stage."""
+        sizes = np.full(stage.netlist.n_gates, self.min_size)
+        form = self._stage_form(stage, sizes)
+        distribution = StageDelayDistribution.from_canonical(form, name=stage.name)
+        return distribution.delay_at_yield(target_yield), stage.netlist.total_area(sizes)

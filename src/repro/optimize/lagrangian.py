@@ -38,6 +38,8 @@ The complexity per iteration is O(n) in the number of gates, matching the
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 from scipy.stats import norm
 
@@ -212,6 +214,7 @@ class LagrangianSizer:
         if not 0.0 < target_yield < 1.0:
             raise ValueError(f"target_yield must be in (0, 1), got {target_yield}")
 
+        start_time = time.perf_counter()
         netlist = stage.netlist
         n_gates = netlist.n_gates
         if n_gates == 0:
@@ -348,6 +351,7 @@ class LagrangianSizer:
             achieved_yield=achieved_yield,
             met_target=met,
             iterations=iterations_used,
+            seconds=time.perf_counter() - start_time,
         )
 
     # ------------------------------------------------------------------

@@ -32,6 +32,9 @@ class SizingResult:
         Whether the statistical constraint was satisfied at convergence.
     iterations:
         Number of outer iterations the sizer used.
+    seconds:
+        Wall-clock time the sizing run took (0.0 when untimed, e.g. for
+        hand-constructed results in tests).
     """
 
     sizes: np.ndarray
@@ -42,6 +45,7 @@ class SizingResult:
     achieved_yield: float
     met_target: bool
     iterations: int
+    seconds: float = 0.0
 
     @property
     def delay_margin(self) -> float:
