@@ -19,18 +19,13 @@ from __future__ import annotations
 
 import json
 import pathlib
-import time
+
+from bench_utils import timed_seconds
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 STAGE_YIELD = 0.95
 SPEEDUP = 0.85
-
-
-def _timed(fn, *args, **kwargs):
-    start = time.perf_counter()
-    result = fn(*args, **kwargs)
-    return time.perf_counter() - start, result
 
 
 def run_benchmark() -> dict:
@@ -67,7 +62,7 @@ def run_benchmark() -> dict:
             target = SPEEDUP * sizer.stage_distribution(stage).delay_at_yield(
                 STAGE_YIELD
             )
-            seconds, result = _timed(
+            seconds, result = timed_seconds(
                 sizer.size_stage, stage, target, STAGE_YIELD, apply=False
             )
             stages[benchmark_name] = {
@@ -97,14 +92,14 @@ def run_benchmark() -> dict:
         validation=AnalysisSpec(n_samples=500, seed=17),
     )
 
-    t_balanced, _ = _timed(session.design, base)
+    t_balanced, _ = timed_seconds(session.design, base)
     # Reuses the cached balanced baseline; pays for curves + redistribution.
-    t_redistribute, _ = _timed(session.design, base, "redistribute")
+    t_redistribute, _ = timed_seconds(session.design, base, "redistribute")
     # Reuses the balanced baseline AND the area-delay curves (stage_yield is
     # the equal split, which is also the global optimizer's curve yield).
-    t_global, _ = _timed(session.design, base, "global")
+    t_global, _ = timed_seconds(session.design, base, "global")
     # Memoized report: a pure cache fetch.
-    t_cached, _ = _timed(session.design, base)
+    t_cached, _ = timed_seconds(session.design, base)
 
     report["design_api"] = {
         "balanced_first_s": t_balanced,

@@ -19,9 +19,10 @@ from __future__ import annotations
 
 import json
 import pathlib
-import time
 
 import numpy as np
+
+from bench_utils import best_of_seconds
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -29,17 +30,6 @@ N_GATES = 2000
 DEPTH = 40
 N_SAMPLES = 10_000
 SSTA_GATES = 2000
-
-
-def _best_of(repeats: int, fn, *args):
-    """Best wall-clock of ``repeats`` runs (first run pays cache compile)."""
-    best = float("inf")
-    result = None
-    for _ in range(repeats):
-        start = time.perf_counter()
-        result = fn(*args)
-        best = min(best, time.perf_counter() - start)
-    return best, result
 
 
 def run_benchmark() -> dict:
@@ -72,8 +62,8 @@ def run_benchmark() -> dict:
         "kernels": {},
     }
 
-    t_vec_1d, a_vec = _best_of(3, arrival_times, block, nominal)
-    t_ref_1d, a_ref = _best_of(3, arrival_times_reference, block, nominal)
+    t_vec_1d, a_vec = best_of_seconds(3, arrival_times, block, nominal)
+    t_ref_1d, a_ref = best_of_seconds(3, arrival_times_reference, block, nominal)
     assert np.array_equal(a_vec, a_ref)
     report["kernels"]["arrival_times_1d"] = {
         "vectorized_s": t_vec_1d,
@@ -81,16 +71,16 @@ def run_benchmark() -> dict:
         "speedup": t_ref_1d / t_vec_1d,
     }
 
-    t_ref_2d, a2_ref = _best_of(3, arrival_times_reference, block, sampled)
+    t_ref_2d, a2_ref = best_of_seconds(3, arrival_times_reference, block, sampled)
     # Cold configuration: every call allocates its 160 MB result afresh, as
     # the seed implementation must.
-    t_cold_2d, a2_vec = _best_of(3, arrival_times, block, sampled)
+    t_cold_2d, a2_vec = best_of_seconds(3, arrival_times, block, sampled)
     assert np.array_equal(a2_vec, a2_ref)
     # Streaming configuration: the production path (chunked Monte-Carlo,
     # sizer loops) reuses an arrival workspace across calls via out=, which
     # removes the page-fault cost of the fresh allocation.
     workspace = np.empty_like(sampled)
-    t_vec_2d, a2_vec = _best_of(4, arrival_times, block, sampled, workspace)
+    t_vec_2d, a2_vec = best_of_seconds(4, arrival_times, block, sampled, workspace)
     assert np.array_equal(a2_vec, a2_ref)
     report["kernels"]["arrival_times_2d"] = {
         "vectorized_s": t_vec_2d,
@@ -110,10 +100,10 @@ def run_benchmark() -> dict:
         )
     )
     ssta_block.timing_schedule()
-    t_vec_ssta, (m_vec, s_vec, r_vec) = _best_of(
+    t_vec_ssta, (m_vec, s_vec, r_vec) = best_of_seconds(
         2, analyzer.arrival_components, ssta_block
     )
-    t_ref_ssta, (m_ref, s_ref, r_ref) = _best_of(
+    t_ref_ssta, (m_ref, s_ref, r_ref) = best_of_seconds(
         1, arrival_components_reference, analyzer, ssta_block
     )
     # All three components share the arrival-time unit; anchor the absolute

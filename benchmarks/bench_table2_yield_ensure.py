@@ -24,7 +24,13 @@ from __future__ import annotations
 from repro.analysis.reporting import format_table
 from repro.api import DesignReport, DesignSpec, PipelineSpec, VariationSpec
 
-from bench_utils import design_study, run_design, run_once, save_report
+from bench_utils import (
+    design_area_yield_table,
+    design_study,
+    run_design,
+    run_once,
+    save_report,
+)
 
 PIPELINE_YIELD_TARGET = 0.80
 STAGE_YIELD_BASELINE = 0.95
@@ -32,29 +38,8 @@ N_SAMPLES = 1500
 
 
 def build_report(report: DesignReport) -> str:
-    before = report.baseline
-    after = report.after
-    names = list(before.stage_names)
-    total_before = before.total_area
-    rows = []
-    for index, name in enumerate(names):
-        rows.append([
-            name,
-            round(100.0 * before.stage_areas[index] / total_before, 1),
-            round(100.0 * before.stage_yields[index], 1),
-            round(100.0 * after.stage_areas[index] / total_before, 1),
-            round(100.0 * after.stage_yields[index], 1),
-        ])
-    rows.append([
-        "Pipeline",
-        round(100.0 * before.total_area / total_before, 1),
-        round(100.0 * before.pipeline_yield, 1),
-        round(100.0 * after.total_area / total_before, 1),
-        round(100.0 * after.pipeline_yield, 1),
-    ])
-    table = format_table(
-        ["stage", "area before (%)", "yield before (%)", "area after (%)", "yield after (%)"],
-        rows,
+    table = design_area_yield_table(
+        report,
         title=(
             "Table II: ensuring the pipeline yield target "
             f"({PIPELINE_YIELD_TARGET:.0%}) at T_target = {report.target_delay*1e12:.0f} ps "

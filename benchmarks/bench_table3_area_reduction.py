@@ -21,7 +21,13 @@ from __future__ import annotations
 from repro.analysis.reporting import format_table
 from repro.api import DesignReport, DesignSpec, PipelineSpec, VariationSpec
 
-from bench_utils import design_study, run_design, run_once, save_report
+from bench_utils import (
+    design_area_yield_table,
+    design_study,
+    run_design,
+    run_once,
+    save_report,
+)
 
 PIPELINE_YIELD_TARGET = 0.80
 STAGE_YIELD_BASELINE = 0.95
@@ -29,29 +35,11 @@ N_SAMPLES = 1500
 
 
 def build_report(report: DesignReport) -> str:
-    before = report.baseline
-    after = report.after
-    names = list(before.stage_names)
-    total_before = before.total_area
-    rows = []
-    for index, name in enumerate(names):
-        rows.append([
-            name,
-            round(100.0 * before.stage_areas[index] / total_before, 1),
-            round(100.0 * before.stage_yields[index], 1),
-            round(100.0 * after.stage_areas[index] / total_before, 1),
-            round(100.0 * after.stage_yields[index], 1),
-        ])
-    rows.append([
-        "Pipeline",
-        100.0,
-        round(100.0 * before.pipeline_yield, 1),
-        round(100.0 * after.total_area / total_before, 1),
-        round(100.0 * after.pipeline_yield, 1),
-    ])
-    table = format_table(
-        ["stage", "area before (%)", "yield before (%)", "area after (%)", "yield after (%)"],
-        rows,
+    # The shared pipeline row computes area-before as a (trivially 100%)
+    # fraction of itself, which renders identically to the literal this
+    # report used before the dedupe -- the golden snapshot pins that.
+    table = design_area_yield_table(
+        report,
         title=(
             "Table III: area recovery at a fixed pipeline yield target "
             f"({PIPELINE_YIELD_TARGET:.0%}) at T_target = {report.target_delay*1e12:.0f} ps"
@@ -63,7 +51,8 @@ def build_report(report: DesignReport) -> str:
             ["stage processing order (by R_i)", " -> ".join(report.stage_order)],
             ["area change (%)", round(report.area_change_percent, 1)],
             ["pipeline yield before / after (%)",
-             f"{100.0 * before.pipeline_yield:.1f} / {100.0 * after.pipeline_yield:.1f}"],
+             f"{100.0 * report.baseline.pipeline_yield:.1f}"
+             f" / {100.0 * report.predicted_yield:.1f}"],
             ["Monte-Carlo yield before / after (%)",
              f"{100.0 * report.mc_yield_baseline:.1f} / {100.0 * report.mc_yield:.1f}"],
         ],

@@ -17,7 +17,9 @@ convention is:
 from __future__ import annotations
 
 import pathlib
+import time
 
+from repro.analysis.reporting import format_table
 from repro.api import (
     AnalysisSpec,
     DelayReport,
@@ -39,6 +41,23 @@ _SESSION: Session | None = None
 def run_once(benchmark, workload):
     """Run ``workload`` exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(workload, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def timed_seconds(fn, *args, **kwargs):
+    """(wall seconds, result) of one call -- the perf benches' stopwatch."""
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return time.perf_counter() - start, result
+
+
+def best_of_seconds(repeats, fn, *args):
+    """Best wall-clock of ``repeats`` calls (the first pays cache compile)."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        seconds, result = timed_seconds(fn, *args)
+        best = min(best, seconds)
+    return best, result
 
 
 def save_report(name: str, text: str) -> pathlib.Path:
@@ -147,3 +166,37 @@ def design_study(
 def run_design(spec: DesignStudySpec) -> DesignReport:
     """Run a design study on the shared session (cached baselines/curves)."""
     return study_session().design(spec)
+
+
+def design_area_yield_table(report: DesignReport, title: str) -> str:
+    """The Tables II/III before/after area-and-yield table of one report.
+
+    Per-stage rows show area (as a percentage of the baseline total) and
+    model stage yield before and after the optimization, followed by the
+    pipeline totals row.  The rendering is shared by ``bench_table2`` and
+    ``bench_table3`` and is pinned byte for byte by the golden snapshots.
+    """
+    before = report.baseline
+    after = report.after
+    total_before = before.total_area
+    rows = []
+    for index, name in enumerate(before.stage_names):
+        rows.append([
+            name,
+            round(100.0 * before.stage_areas[index] / total_before, 1),
+            round(100.0 * before.stage_yields[index], 1),
+            round(100.0 * after.stage_areas[index] / total_before, 1),
+            round(100.0 * after.stage_yields[index], 1),
+        ])
+    rows.append([
+        "Pipeline",
+        round(100.0 * before.total_area / total_before, 1),
+        round(100.0 * before.pipeline_yield, 1),
+        round(100.0 * after.total_area / total_before, 1),
+        round(100.0 * after.pipeline_yield, 1),
+    ])
+    return format_table(
+        ["stage", "area before (%)", "yield before (%)", "area after (%)", "yield after (%)"],
+        rows,
+        title=title,
+    )

@@ -36,6 +36,12 @@ api
     pipeline optimizers behind one :class:`DesignReport`, cached sessions
     and the scenario-sweep runner.  This facade is the preferred
     entrypoint; the subpackages above remain the building blocks.
+verify
+    The differential verification subsystem: a registry of oracles pairing
+    every vectorized kernel with its retained naive reference (and every
+    analytical model with its Monte-Carlo ground truth), a seeded scenario
+    fuzzer, report invariants, a committed scenario corpus and the
+    :func:`run_conformance` harness every perf/refactor PR leans on.
 """
 
 from repro.api.backends import DelayReport, available_backends, register_backend
@@ -73,6 +79,7 @@ from repro.pipeline.stage import PipelineStage
 from repro.process.technology import Technology, default_technology
 from repro.process.variation import VariationModel
 from repro.timing.ssta import StatisticalTimingAnalyzer
+from repro.verify import ConformanceReport, Scenario, ScenarioFuzzer, run_conformance
 
 __version__ = "1.0.0"
 
@@ -114,4 +121,8 @@ __all__ = [
     "default_technology",
     "VariationModel",
     "StatisticalTimingAnalyzer",
+    "ConformanceReport",
+    "Scenario",
+    "ScenarioFuzzer",
+    "run_conformance",
 ]

@@ -79,6 +79,19 @@ def _as_depth(value: Any) -> int | tuple[int, ...]:
     return int(value)
 
 
+def _as_options(value: Any) -> tuple[tuple[str, Any], ...]:
+    """Coerce option knobs (mapping or pair sequence) to hashable form.
+
+    Pairs are sorted by key so two specs with the same options written in a
+    different order compare (and hash) equal -- they are cache keys.
+    """
+    if isinstance(value, Mapping):
+        items = value.items()
+    else:
+        items = [(k, v) for k, v in value]
+    return tuple(sorted((str(k), v) for k, v in items))
+
+
 # ----------------------------------------------------------------------
 # Pipeline specification
 # ----------------------------------------------------------------------
@@ -101,6 +114,13 @@ class PipelineSpec:
     benchmarks:
         ISCAS85 stage names in pipeline order (``None`` for the paper's
         default c3540/c2670/c1908/c432).
+    options:
+        Extra keyword knobs for registered custom pipeline kinds (built-in
+        kinds ignore them), stored as a key-sorted tuple of ``(name, value)``
+        pairs so the spec stays frozen, hashable and order-insensitive; a
+        plain dict is accepted and coerced.  The verification subsystem's
+        ``"random_logic"`` kind uses these for its gate/input/output counts
+        and structural seed.
     name:
         Optional pipeline name override.
     """
@@ -112,6 +132,7 @@ class PipelineSpec:
     width: int = 8
     n_address: int = 4
     benchmarks: tuple[str, ...] | None = None
+    options: tuple[tuple[str, Any], ...] = ()
     name: str | None = None
 
     def __post_init__(self) -> None:
@@ -121,6 +142,7 @@ class PipelineSpec:
                 f"registered kinds: {sorted(_PIPELINE_KINDS)}"
             )
         object.__setattr__(self, "logic_depth", _as_depth(self.logic_depth))
+        object.__setattr__(self, "options", _as_options(self.options))
         if self.benchmarks is not None:
             object.__setattr__(
                 self, "benchmarks", tuple(str(b) for b in self.benchmarks)
@@ -154,7 +176,9 @@ class PipelineSpec:
 
     # -- serialisation --------------------------------------------------
     def to_dict(self) -> dict[str, Any]:
-        return _spec_to_dict(self)
+        data = _spec_to_dict(self)
+        data["options"] = {name: value for name, value in self.options}
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "PipelineSpec":
@@ -464,19 +488,6 @@ class StudySpec:
 # ----------------------------------------------------------------------
 # Design specification
 # ----------------------------------------------------------------------
-def _as_options(value: Any) -> tuple[tuple[str, Any], ...]:
-    """Coerce sizer options (mapping or pair sequence) to hashable form.
-
-    Pairs are sorted by key so two specs with the same options written in a
-    different order compare (and hash) equal -- they are cache keys.
-    """
-    if isinstance(value, Mapping):
-        items = value.items()
-    else:
-        items = [(k, v) for k, v in value]
-    return tuple(sorted((str(k), v) for k, v in items))
-
-
 @dataclass(frozen=True)
 class DesignSpec:
     """Which optimizer designs the pipeline, toward which targets.

@@ -1,0 +1,68 @@
+"""Differential verification subsystem: fuzzer + conformance harness.
+
+Every perf/refactor PR in this repo speeds up or restructures a kernel that
+has a slower, trusted counterpart -- the retained naive timing loops in
+:mod:`repro.timing.reference`, the empirical Monte-Carlo view of every
+analytical model, the balanced baseline of every optimizer.  This package
+turns those pairs into a first-class, executable contract:
+
+:mod:`repro.verify.tolerances`
+    Typed tolerance policies (exact / kernel / statistical / yield-points).
+:mod:`repro.verify.scenarios`
+    The :class:`Scenario` unit, the committed ``corpus.json``, the seeded
+    :class:`ScenarioFuzzer`, and the ``"random_logic"`` pipeline kind.
+:mod:`repro.verify.invariants`
+    Unconditional report invariants (probability bounds, monotone
+    quantiles, JSON round trips, baseline consistency).
+:mod:`repro.verify.oracles`
+    The :class:`DifferentialOracle` protocol and registry pairing each
+    vectorized kernel / analytical shortcut with its reference.
+:mod:`repro.verify.runner`
+    :func:`run_conformance` -- corpus + fresh fuzz -> one
+    :class:`ConformanceReport`.
+
+Quick use::
+
+    from repro.verify import run_conformance
+
+    report = run_conformance(fuzz=6)        # corpus + 6 fresh scenarios
+    assert report.passed, report.format(failures_only=True)
+"""
+
+from repro.verify.invariants import check_delay_report, check_design_report
+from repro.verify.oracles import (
+    DifferentialOracle,
+    OracleCheck,
+    available_oracles,
+    get_oracle,
+    oracles_for,
+    register_oracle,
+)
+from repro.verify.runner import ConformanceReport, run_conformance
+from repro.verify.scenarios import (
+    Scenario,
+    ScenarioFuzzer,
+    builtin_corpus,
+    load_corpus,
+    save_corpus,
+)
+from repro.verify.tolerances import Tolerance
+
+__all__ = [
+    "ConformanceReport",
+    "DifferentialOracle",
+    "OracleCheck",
+    "Scenario",
+    "ScenarioFuzzer",
+    "Tolerance",
+    "available_oracles",
+    "builtin_corpus",
+    "check_delay_report",
+    "check_design_report",
+    "get_oracle",
+    "load_corpus",
+    "oracles_for",
+    "register_oracle",
+    "run_conformance",
+    "save_corpus",
+]

@@ -1,0 +1,188 @@
+"""Structural invariants every report must satisfy, whatever produced it.
+
+Differential oracles compare two implementations; the checkers here instead
+assert properties that must hold of a single
+:class:`~repro.api.backends.DelayReport` or
+:class:`~repro.api.design.DesignReport` *unconditionally* -- probabilities in
+[0, 1], quantile/yield monotonicity, well-formed correlation matrices,
+baseline-vs-sized bookkeeping consistency, loss-free JSON round trips.
+Each checker returns a list of human-readable violation strings (empty means
+the report is sound), so the conformance runner can report every broken
+property of a scenario at once instead of stopping at the first.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.api.backends import DelayReport
+from repro.api.design import DesignReport
+
+#: Yield probes used for monotonicity checks, spread across the bulk and
+#: both tails of the delay distribution.
+_YIELD_PROBES = (0.05, 0.25, 0.50, 0.75, 0.95)
+
+
+def _check_correlation_matrix(matrix: np.ndarray, violations: list[str]) -> None:
+    n = matrix.shape[0]
+    if matrix.shape != (n, n):
+        violations.append(f"correlation matrix is not square: {matrix.shape}")
+        return
+    if not np.all(np.isfinite(matrix)):
+        violations.append("correlation matrix has non-finite entries")
+        return
+    if not np.allclose(matrix, matrix.T, atol=1e-9):
+        violations.append("correlation matrix is not symmetric")
+    if not np.allclose(np.diag(matrix), 1.0, atol=1e-9):
+        violations.append("correlation matrix diagonal is not 1")
+    if np.any(np.abs(matrix) > 1.0 + 1e-9):
+        violations.append("correlation entries fall outside [-1, 1]")
+
+
+def check_delay_report(report: DelayReport) -> list[str]:
+    """Invariants of a single delay report (any backend).
+
+    Checks finiteness and non-negativity of the moments, correlation-matrix
+    well-formedness, ``yield_at`` bounds and monotonicity in the target
+    delay, ``delay_at_yield`` monotonicity in the target yield, mutual
+    consistency of the two queries, and a loss-free JSON round trip.
+    """
+    violations: list[str] = []
+    means = np.asarray(report.stage_means)
+    stds = np.asarray(report.stage_stds)
+    if not (np.all(np.isfinite(means)) and np.all(np.isfinite(stds))):
+        violations.append("stage moments contain non-finite values")
+        return violations
+    if np.any(means < 0.0):
+        violations.append("negative stage mean delay")
+    if np.any(stds < 0.0):
+        violations.append("negative stage delay sigma")
+    if not np.isfinite(report.pipeline_mean) or not np.isfinite(report.pipeline_std):
+        violations.append("pipeline moments are non-finite")
+        return violations
+    if report.pipeline_std < 0.0:
+        violations.append(f"negative pipeline sigma {report.pipeline_std}")
+    if means.size and report.pipeline_mean < means.max() * (1.0 - 1e-9):
+        violations.append(
+            "pipeline mean below the largest stage mean (violates "
+            f"E[max] >= max E): {report.pipeline_mean} < {means.max()}"
+        )
+    if report.jensen_lower_bound is not None and report.pipeline_mean < (
+        report.jensen_lower_bound * (1.0 - 1e-9)
+    ):
+        violations.append("pipeline mean below its Jensen lower bound")
+    _check_correlation_matrix(report.correlation_matrix(), violations)
+
+    # Yield/quantile queries: bounds, monotonicity, mutual consistency.
+    quantiles = [report.delay_at_yield(q) for q in _YIELD_PROBES]
+    if any(not np.isfinite(value) for value in quantiles):
+        violations.append("delay_at_yield returned non-finite values")
+    elif any(b < a for a, b in zip(quantiles, quantiles[1:])):
+        violations.append(f"delay_at_yield is not monotone over {_YIELD_PROBES}")
+    yields = [report.yield_at(delay) for delay in sorted(quantiles)]
+    if any(not 0.0 <= value <= 1.0 for value in yields):
+        violations.append(f"yield_at left [0, 1]: {yields}")
+    if any(b < a - 1e-12 for a, b in zip(yields, yields[1:])):
+        violations.append("yield_at is not monotone in the target delay")
+    # Empirical quantiles interpolate between order statistics, so the
+    # round trip can undershoot by up to ~1/n_samples; Gaussian queries
+    # invert exactly.
+    slack = 1e-9 if report.samples is None else 2.0 / len(report.samples)
+    for probe, quantile in zip(_YIELD_PROBES, quantiles):
+        achieved = report.yield_at(quantile)
+        if achieved < probe - slack:
+            violations.append(
+                f"yield_at(delay_at_yield({probe})) = {achieved} < {probe}"
+            )
+    if report.samples is not None and report.n_stages:
+        empirical_mean = float(np.asarray(report.samples).mean())
+        if not np.isclose(empirical_mean, report.pipeline_mean, rtol=1e-9):
+            violations.append("pipeline mean disagrees with its own samples")
+
+    round_tripped = DelayReport.from_json(report.to_json())
+    if round_tripped != report:
+        violations.append("DelayReport JSON round trip is not loss-free")
+    return violations
+
+
+def check_design_report(report: DesignReport) -> list[str]:
+    """Invariants of a single design report (any optimizer x sizer).
+
+    Checks target/probability bounds, per-stage bookkeeping (positive sizes
+    and areas, logic area <= stage area, totals equal to the per-stage
+    sums), consistency of the predicted yield with the report's own Gaussian
+    model, baseline-snapshot consistency, trace sanity and a loss-free JSON
+    round trip -- plus the delay-report invariants of any embedded
+    Monte-Carlo validations.
+    """
+    violations: list[str] = []
+    if not 0.0 < report.target_yield < 1.0:
+        violations.append(f"target_yield {report.target_yield} outside (0, 1)")
+    if not 0.0 < report.stage_yield_target < 1.0:
+        violations.append(f"stage_yield_target {report.stage_yield_target} outside (0, 1)")
+    if report.target_delay <= 0.0 or not np.isfinite(report.target_delay):
+        violations.append(f"non-positive target delay {report.target_delay}")
+    if any(target <= 0.0 for target in report.stage_targets):
+        violations.append("non-positive per-stage delay target")
+    if not 0.0 <= report.predicted_yield <= 1.0:
+        violations.append(f"predicted_yield {report.predicted_yield} outside [0, 1]")
+    if any(not 0.0 <= value <= 1.0 for value in report.stage_yields):
+        violations.append("a model stage yield left [0, 1]")
+
+    for stage, sizes in zip(report.stage_names, report.stage_sizes):
+        if not sizes or any(size <= 0.0 for size in sizes):
+            violations.append(f"stage {stage!r} has empty or non-positive gate sizes")
+    areas = np.asarray(report.stage_areas)
+    logic = np.asarray(report.stage_logic_areas)
+    if np.any(areas <= 0.0):
+        violations.append("non-positive stage area")
+    if np.any(logic > areas * (1.0 + 1e-9)):
+        violations.append("stage logic area exceeds the stage's total area")
+    if not np.isclose(report.total_area, areas.sum(), rtol=1e-9):
+        violations.append("total_area is not the sum of stage areas")
+    if not np.isclose(report.total_logic_area, logic.sum(), rtol=1e-9):
+        violations.append("total_logic_area is not the sum of stage logic areas")
+    if not np.isclose(
+        report.predicted_yield,
+        report.predicted_yield_at(report.target_delay),
+        atol=1e-9,
+    ):
+        violations.append(
+            "predicted_yield disagrees with predicted_yield_at(target_delay)"
+        )
+
+    if report.baseline is not None:
+        baseline = report.baseline
+        if baseline.stage_names != report.stage_names:
+            violations.append("baseline snapshot names a different stage set")
+        if baseline.total_area <= 0.0:
+            violations.append("baseline snapshot has non-positive total area")
+        if not 0.0 <= baseline.pipeline_yield <= 1.0:
+            violations.append("baseline pipeline yield left [0, 1]")
+        if not np.isclose(
+            baseline.total_area, np.asarray(baseline.stage_areas).sum(), rtol=1e-9
+        ):
+            violations.append("baseline total area is not the sum of its stages")
+
+    known_stages = set(report.stage_names)
+    for entry in report.trace:
+        if entry.stage not in known_stages:
+            violations.append(f"trace names unknown stage {entry.stage!r}")
+        if entry.target_delay <= 0.0 or entry.area < 0.0 or entry.iterations < 0:
+            violations.append(f"trace entry for {entry.stage!r} has nonsense fields")
+        if not 0.0 <= entry.achieved_yield <= 1.0:
+            violations.append(f"trace yield for {entry.stage!r} left [0, 1]")
+
+    for label, validation in (
+        ("validation", report.validation),
+        ("validation_baseline", report.validation_baseline),
+    ):
+        if validation is not None:
+            violations.extend(
+                f"{label}: {violation}" for violation in check_delay_report(validation)
+            )
+
+    round_tripped = DesignReport.from_json(report.to_json())
+    if round_tripped != report:
+        violations.append("DesignReport JSON round trip is not loss-free")
+    return violations

@@ -1,0 +1,187 @@
+"""The conformance entry point: scenarios x oracles -> one typed report.
+
+:func:`run_conformance` is what every future perf/refactor PR leans on: it
+runs the committed scenario corpus (plus, optionally, a batch of freshly
+fuzzed scenarios) through every applicable differential oracle on one shared
+:class:`~repro.api.session.Session`, and returns a
+:class:`ConformanceReport` that knows which (scenario, oracle) pairs failed,
+by how much, and how to reproduce the fuzzed part (the fuzz seed is carried
+in the report).
+
+An oracle that *raises* is recorded as a failed check rather than aborting
+the run -- a crash in a kernel on a fuzzed topology is exactly the kind of
+finding the harness exists to surface.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.verify.oracles import (
+    DifferentialOracle,
+    OracleCheck,
+    get_oracle,
+    oracles_for,
+)
+from repro.verify.scenarios import Scenario, ScenarioFuzzer, builtin_corpus
+from repro.verify.tolerances import Tolerance
+
+
+@dataclass(frozen=True)
+class ConformanceReport:
+    """Every oracle outcome of one conformance run."""
+
+    checks: tuple[OracleCheck, ...]
+    fuzz_seed: int | None = None
+
+    @property
+    def passed(self) -> bool:
+        """Whether every check of the run passed."""
+        return all(check.passed for check in self.checks)
+
+    @property
+    def failures(self) -> tuple[OracleCheck, ...]:
+        """The failing checks, worst excess first."""
+        return tuple(
+            sorted(
+                (check for check in self.checks if not check.passed),
+                key=lambda check: -check.excess,
+            )
+        )
+
+    @property
+    def n_scenarios(self) -> int:
+        """Number of distinct scenarios the run covered."""
+        return len({check.scenario for check in self.checks})
+
+    def summary(self) -> dict[str, float | int]:
+        """Scalar roll-up for logs and CI output."""
+        finite = [c.excess for c in self.checks if np.isfinite(c.excess)]
+        return {
+            "scenarios": self.n_scenarios,
+            "checks": len(self.checks),
+            "failures": len(self.failures),
+            "worst_excess": max(finite) if finite else 0.0,
+        }
+
+    def format(self, failures_only: bool = False) -> str:
+        """Plain-text table of the run (the benchmark-report format)."""
+        rows = [
+            [
+                check.scenario,
+                check.oracle,
+                "ok" if check.passed else "FAIL",
+                check.excess,
+                check.tolerance,
+                check.detail,
+            ]
+            for check in (self.failures if failures_only else self.checks)
+        ]
+        seed_note = f" (fuzz seed {self.fuzz_seed})" if self.fuzz_seed is not None else ""
+        summary = self.summary()
+        title = (
+            f"conformance: {summary['checks']} checks over "
+            f"{summary['scenarios']} scenarios, "
+            f"{summary['failures']} failures{seed_note}"
+        )
+        return format_table(
+            ["scenario", "oracle", "status", "excess", "tolerance", "detail"],
+            rows,
+            title=title,
+        )
+
+
+def _run_oracle(
+    oracle: DifferentialOracle, session, scenario: Scenario
+) -> OracleCheck:
+    try:
+        return oracle.check(session, scenario)
+    except Exception as error:  # noqa: BLE001 - a crash IS the finding
+        return OracleCheck(
+            oracle=oracle.name,
+            scenario=scenario.name,
+            passed=False,
+            excess=float("inf"),
+            tolerance=oracle.tolerance.describe(),
+            detail=f"oracle raised {type(error).__name__}: {error}",
+        )
+
+
+def run_conformance(
+    scenarios: Sequence[Scenario] | None = None,
+    *,
+    fuzz: int = 0,
+    seed: int | None = None,
+    session=None,
+    oracles: Iterable[str] | None = None,
+    tolerances: Mapping[str, Tolerance] | None = None,
+) -> ConformanceReport:
+    """Run the differential conformance harness.
+
+    Parameters
+    ----------
+    scenarios:
+        Scenarios to check; defaults to the committed corpus
+        (:func:`~repro.verify.scenarios.builtin_corpus`).  Pass an explicit
+        (possibly empty) sequence to run fuzz-only batches.
+    fuzz:
+        Number of *additional* freshly fuzzed scenarios; roughly one in
+        three is a (more expensive) design scenario, the rest are analysis
+        scenarios.
+    seed:
+        Fuzzer seed.  ``None`` draws a fresh entropy seed each run -- the
+        "new scenarios on every push" mode -- and records it in the report
+        so any failure is replayable with ``run_conformance(fuzz=..., seed=...)``.
+    session:
+        Shared :class:`~repro.api.session.Session`; a fresh one is built if
+        omitted.  Sharing matters: scenarios differing in one axis reuse
+        cached pipelines/characterisations exactly like production sweeps,
+        so the harness also exercises cache-key correctness.
+    oracles:
+        Oracle names to run (default: every registered oracle applicable to
+        each scenario's kind).
+    tolerances:
+        Per-oracle :class:`Tolerance` overrides, keyed by oracle name,
+        applied to the oracle's primary tolerance for this run.
+    """
+    from repro.api.session import Session
+
+    if scenarios is None:
+        scenarios = builtin_corpus()
+    scenarios = list(scenarios)
+    fuzz_seed: int | None = None
+    if fuzz > 0:
+        if seed is None:
+            fuzz_seed = int(np.random.SeedSequence().entropy % (2**32))
+        else:
+            fuzz_seed = int(seed)
+        n_design = fuzz // 3
+        fuzzer = ScenarioFuzzer(fuzz_seed)
+        scenarios.extend(fuzzer.scenarios(fuzz - n_design, n_design))
+    if session is None:
+        session = Session()
+
+    selected: list[DifferentialOracle] | None = None
+    if oracles is not None:
+        selected = [get_oracle(name) for name in oracles]
+
+    def resolve(oracle: DifferentialOracle) -> DifferentialOracle:
+        if tolerances and oracle.name in tolerances:
+            return dataclasses.replace(oracle, tolerance=tolerances[oracle.name])
+        return oracle
+
+    checks: list[OracleCheck] = []
+    for scenario in scenarios:
+        applicable = (
+            [oracle for oracle in selected if scenario.kind in oracle.kinds]
+            if selected is not None
+            else list(oracles_for(scenario.kind))
+        )
+        for oracle in applicable:
+            checks.append(_run_oracle(resolve(oracle), session, scenario))
+    return ConformanceReport(checks=tuple(checks), fuzz_seed=fuzz_seed)

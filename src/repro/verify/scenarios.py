@@ -1,0 +1,381 @@
+"""Scenarios: the unit of work the conformance harness runs oracles over.
+
+A :class:`Scenario` wraps exactly one spec -- a
+:class:`~repro.api.spec.StudySpec` (analysis conformance) or a
+:class:`~repro.api.spec.DesignStudySpec` (design-flow conformance) -- plus a
+stable name, and round-trips through JSON so a *corpus* of scenarios can be
+committed next to the code (``corpus.json``) and grown one regression at a
+time.
+
+Two scenario sources feed :func:`repro.verify.runner.run_conformance`:
+
+* :func:`builtin_corpus` -- the committed corpus, curated to cover every
+  registered backend, every optimizer x sizer combination, every built-in
+  pipeline family and the variation regimes the paper studies;
+* :class:`ScenarioFuzzer` -- a seeded generator producing fresh random
+  scenarios (topology x variation x analysis x design) each run, so the
+  differential oracles keep exploring configurations nobody hand-picked.
+
+This module also registers the ``"random_logic"`` pipeline kind: pipelines
+whose stages are :func:`~repro.circuit.generators.random_logic_block` DAGs
+with real fanin/reconvergence structure, which the straight inverter chains
+and the fixed ALU/decoder/ISCAS topologies never exercise.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping
+
+import numpy as np
+
+from repro.api.spec import (
+    AnalysisSpec,
+    DesignSpec,
+    DesignStudySpec,
+    PipelineSpec,
+    StudySpec,
+    VariationSpec,
+    pipeline_kinds,
+    register_pipeline_kind,
+)
+
+_CORPUS_PATH = pathlib.Path(__file__).resolve().parent / "corpus.json"
+
+
+# ----------------------------------------------------------------------
+# The "random_logic" pipeline kind
+# ----------------------------------------------------------------------
+def _build_random_logic(spec: PipelineSpec, technology):
+    """Pipeline of random-logic DAG stages (fanin/reconvergence coverage).
+
+    Reads its structural knobs from ``spec.options``: ``n_gates`` (per
+    stage), ``n_inputs``, ``n_outputs`` and ``seed`` (per-stage seeds are
+    ``seed + stage index`` so stages differ structurally).  ``n_stages`` and
+    ``logic_depth`` keep their usual meanings.
+    """
+    from repro.circuit.flipflop import FlipFlopTiming
+    from repro.circuit.generators import random_logic_block
+    from repro.pipeline.pipeline import Pipeline
+    from repro.pipeline.stage import PipelineStage
+
+    options = dict(spec.options)
+    depths = (
+        list(spec.logic_depth)
+        if isinstance(spec.logic_depth, tuple)
+        else [spec.logic_depth] * spec.n_stages
+    )
+    n_gates = int(options.get("n_gates", 40))
+    n_inputs = int(options.get("n_inputs", 5))
+    n_outputs = int(options.get("n_outputs", 3))
+    seed = int(options.get("seed", 0))
+    name = spec.name if spec.name is not None else f"random_logic_{spec.n_stages}x{n_gates}"
+    flipflop = FlipFlopTiming()
+    stages = []
+    for index, depth in enumerate(depths):
+        netlist = random_logic_block(
+            f"{name}_s{index}",
+            n_gates=max(n_gates, depth),
+            depth=depth,
+            n_inputs=n_inputs,
+            n_outputs=n_outputs,
+            seed=seed + index,
+            technology=technology,
+        )
+        stages.append(
+            PipelineStage(name=f"stage{index}", netlist=netlist, flipflop=flipflop)
+        )
+    return Pipeline(name, stages)
+
+
+if "random_logic" not in pipeline_kinds():
+    register_pipeline_kind("random_logic", _build_random_logic)
+
+
+# ----------------------------------------------------------------------
+# Scenario container
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Scenario:
+    """One named conformance workload: an analysis *or* a design study."""
+
+    name: str
+    study: StudySpec | None = None
+    design: DesignStudySpec | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise ValueError(f"scenario name must be a non-empty string, got {self.name!r}")
+        if (self.study is None) == (self.design is None):
+            raise ValueError(
+                f"scenario {self.name!r} must carry exactly one of study/design"
+            )
+
+    @property
+    def kind(self) -> str:
+        """``"study"`` or ``"design"``."""
+        return "study" if self.study is not None else "design"
+
+    @property
+    def pipeline(self) -> PipelineSpec:
+        """The scenario's pipeline spec, whichever study kind it wraps."""
+        spec = self.study if self.study is not None else self.design
+        return spec.pipeline
+
+    @property
+    def variation(self) -> VariationSpec:
+        """The scenario's variation spec, whichever study kind it wraps."""
+        spec = self.study if self.study is not None else self.design
+        return spec.variation
+
+    @property
+    def analysis(self) -> AnalysisSpec:
+        """The analysis knobs oracles should sample with.
+
+        Design scenarios fall back to their validation spec (or defaults
+        when the design is unvalidated), so kernel-level oracles always have
+        seeds and grid parameters to work with.
+        """
+        if self.study is not None:
+            return self.study.analysis
+        if self.design.validation is not None:
+            return self.design.validation
+        return AnalysisSpec()
+
+    # -- serialisation --------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        data: dict[str, Any] = {"name": self.name}
+        if self.study is not None:
+            data["study"] = self.study.to_dict()
+        else:
+            data["design"] = self.design.to_dict()
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Scenario":
+        unknown = set(data) - {"name", "study", "design"}
+        if unknown:
+            raise ValueError(f"unknown Scenario field(s): {sorted(unknown)}")
+        study = data.get("study")
+        design = data.get("design")
+        return cls(
+            name=data.get("name", ""),
+            study=StudySpec.from_dict(study) if isinstance(study, Mapping) else study,
+            design=DesignStudySpec.from_dict(design)
+            if isinstance(design, Mapping)
+            else design,
+        )
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Scenario":
+        return cls.from_dict(json.loads(text))
+
+
+# ----------------------------------------------------------------------
+# Committed corpus
+# ----------------------------------------------------------------------
+def load_corpus(path: str | pathlib.Path) -> tuple[Scenario, ...]:
+    """Load a scenario corpus from a JSON file (a list of scenario dicts)."""
+    payload = json.loads(pathlib.Path(path).read_text())
+    if not isinstance(payload, list):
+        raise ValueError(f"corpus file {path} must contain a JSON list")
+    scenarios = tuple(Scenario.from_dict(entry) for entry in payload)
+    names = [scenario.name for scenario in scenarios]
+    duplicates = {name for name in names if names.count(name) > 1}
+    if duplicates:
+        raise ValueError(f"corpus has duplicate scenario names: {sorted(duplicates)}")
+    return scenarios
+
+
+def save_corpus(scenarios: Iterable[Scenario], path: str | pathlib.Path) -> None:
+    """Write a scenario corpus as indented JSON (stable for diffs)."""
+    payload = [scenario.to_dict() for scenario in scenarios]
+    pathlib.Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def builtin_corpus() -> tuple[Scenario, ...]:
+    """The committed conformance corpus (``src/repro/verify/corpus.json``).
+
+    Curated to cover all registered backends, all optimizer x sizer
+    combinations, every built-in pipeline family (plus ``random_logic``)
+    and the inter-only / intra-only / combined variation regimes.  To add a
+    scenario, append its dict to the JSON file (``Scenario.to_dict()``
+    emits the right shape) with a unique name.
+    """
+    return load_corpus(_CORPUS_PATH)
+
+
+# ----------------------------------------------------------------------
+# Scenario fuzzer
+# ----------------------------------------------------------------------
+class ScenarioFuzzer:
+    """Seeded random generator of conformance scenarios.
+
+    Deterministic for a given seed (two fuzzers with the same seed emit the
+    same scenario sequence), yet every draw spans the axes the ROADMAP cares
+    about: pipeline topology (depth, fanin/reconvergence, ISCAS profiles),
+    tech sigmas and spatial correlation, sigma scaling, every analysis
+    backend and every optimizer x sizer combination.  Generated workloads
+    are deliberately small -- the point is breadth of *structure*, not
+    sample count.
+    """
+
+    #: Small ISCAS profiles kept cheap enough for per-run fuzzing.
+    ISCAS_CHOICES = ("c432", "c499", "c880")
+    BACKENDS = ("montecarlo", "analytic", "ssta")
+    OPTIMIZERS = ("balanced", "redistribute", "global")
+    SIZERS = ("lagrangian", "greedy")
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+        self._rng = np.random.default_rng(np.random.SeedSequence(self.seed))
+        self._count = 0
+
+    # -- component draws -------------------------------------------------
+    def _draw_pipeline(self, *, small: bool = False) -> PipelineSpec:
+        rng = self._rng
+        kind = str(
+            rng.choice(
+                ["inverter_chain", "random_logic", "alu_decoder", "iscas"],
+                p=[0.40, 0.30, 0.15, 0.15],
+            )
+        )
+        if kind == "inverter_chain":
+            n_stages = int(rng.integers(1, 4 if small else 7))
+            if rng.random() < 0.3 and n_stages > 1:
+                depth = tuple(int(d) for d in rng.integers(2, 11, size=n_stages))
+            else:
+                depth = int(rng.integers(2, 11))
+            return PipelineSpec(
+                kind=kind,
+                n_stages=n_stages,
+                logic_depth=depth,
+                size=float(rng.choice([0.5, 1.0, 1.0, 2.0])),
+            )
+        if kind == "random_logic":
+            n_stages = int(rng.integers(1, 3 if small else 4))
+            depth = int(rng.integers(3, 9))
+            return PipelineSpec(
+                kind=kind,
+                n_stages=n_stages,
+                logic_depth=depth,
+                options={
+                    "n_gates": int(rng.integers(depth * 3, depth * 6)),
+                    "n_inputs": int(rng.integers(3, 9)),
+                    "n_outputs": int(rng.integers(2, 6)),
+                    "seed": int(rng.integers(0, 2**31 - 1)),
+                },
+            )
+        if kind == "alu_decoder":
+            return PipelineSpec(
+                kind=kind,
+                width=int(rng.integers(3, 5 if small else 9)),
+                n_address=int(rng.integers(2, 4)),
+            )
+        if small:
+            # Design fuzzing sizes every gate repeatedly; keep the ISCAS
+            # stand-in to the smallest profile so a fuzz batch stays cheap.
+            return PipelineSpec(kind="iscas", benchmarks=("c432",))
+        benchmarks = tuple(
+            rng.choice(self.ISCAS_CHOICES, size=int(rng.integers(1, 3)), replace=False)
+        )
+        return PipelineSpec(kind="iscas", benchmarks=benchmarks)
+
+    def _draw_variation(self) -> VariationSpec:
+        rng = self._rng
+        regime = rng.random()
+        # The upper ends stay near the paper's own sigmas: far beyond them
+        # the first-order SSTA mean genuinely drifts from Monte-Carlo and
+        # the agreement oracles would flag model physics, not kernel bugs.
+        sigma_scale = float(np.round(rng.uniform(0.5, 1.5), 3))
+        if regime < 0.2:
+            base = VariationSpec.intra_random_only(
+                sigma_vth_random=float(np.round(rng.uniform(0.01, 0.03), 4))
+            )
+        elif regime < 0.4:
+            base = VariationSpec.inter_only(
+                sigma_vth_inter=float(np.round(rng.uniform(0.01, 0.04), 4))
+            )
+        else:
+            base = VariationSpec(
+                sigma_vth_inter=float(np.round(rng.uniform(0.005, 0.025), 4)),
+                sigma_vth_random=float(np.round(rng.uniform(0.005, 0.03), 4)),
+                sigma_vth_systematic=float(np.round(rng.uniform(0.0, 0.015), 4)),
+                correlation_length=float(np.round(rng.uniform(0.2, 1.0), 3)),
+                sigma_l_inter=float(np.round(rng.uniform(0.0, 0.025), 4)),
+                sigma_l_systematic=float(np.round(rng.uniform(0.0, 0.012), 4)),
+            )
+        return base.scaled(sigma_scale)
+
+    def _draw_analysis(self, backend: str | None = None) -> AnalysisSpec:
+        rng = self._rng
+        return AnalysisSpec(
+            backend=backend if backend is not None else str(rng.choice(self.BACKENDS)),
+            n_samples=int(rng.integers(400, 1201)),
+            seed=int(rng.integers(0, 2**31 - 1)),
+            grid_size=int(rng.choice([4, 8])),
+            chunk_size=None if rng.random() < 0.7 else int(rng.choice([64, 256])),
+            ordering=str(rng.choice(["increasing", "decreasing", "given"], p=[0.7, 0.15, 0.15])),
+        )
+
+    def _draw_design(self) -> DesignSpec:
+        rng = self._rng
+        optimizer = str(rng.choice(self.OPTIMIZERS))
+        sizer = str(rng.choice(self.SIZERS))
+        options: dict[str, Any] = {}
+        if sizer == "greedy":
+            options["max_moves"] = int(rng.integers(200, 500))
+        elif rng.random() < 0.5:
+            options["max_outer"] = int(rng.integers(15, 40))
+        return DesignSpec(
+            optimizer=optimizer,
+            sizer=sizer,
+            sizer_options=options,
+            yield_target=float(np.round(rng.uniform(0.70, 0.90), 3)),
+            stage_yield=None if rng.random() < 0.6 else float(np.round(rng.uniform(0.90, 0.97), 3)),
+            delay_policy=str(rng.choice(["stage_max", "stage_min"], p=[0.75, 0.25])),
+            delay_scale=float(np.round(rng.uniform(0.9, 1.1), 3)),
+            curve_points=int(rng.integers(2, 4)),
+            ordering=str(rng.choice(["ri_ascending", "ri_descending", "pipeline"], p=[0.7, 0.15, 0.15])),
+            fraction=float(np.round(rng.uniform(0.05, 0.25), 3)),
+            mode=str(rng.choice(["best", "worst"], p=[0.8, 0.2])),
+        )
+
+    # -- scenario draws --------------------------------------------------
+    def _next_name(self, kind: str) -> str:
+        self._count += 1
+        return f"fuzz-{self.seed}-{self._count:03d}-{kind}"
+
+    def study_scenario(self) -> Scenario:
+        """One fresh random analysis scenario."""
+        return Scenario(
+            name=self._next_name("study"),
+            study=StudySpec(
+                pipeline=self._draw_pipeline(),
+                variation=self._draw_variation(),
+                analysis=self._draw_analysis(),
+            ),
+        )
+
+    def design_scenario(self) -> Scenario:
+        """One fresh random design scenario (small pipeline, validated)."""
+        return Scenario(
+            name=self._next_name("design"),
+            design=DesignStudySpec(
+                pipeline=self._draw_pipeline(small=True),
+                variation=self._draw_variation(),
+                design=self._draw_design(),
+                validation=self._draw_analysis(backend="montecarlo"),
+            ),
+        )
+
+    def scenarios(self, n_study: int, n_design: int = 0) -> list[Scenario]:
+        """A batch of fresh scenarios: ``n_study`` analysis + ``n_design`` design."""
+        batch = [self.study_scenario() for _ in range(n_study)]
+        batch.extend(self.design_scenario() for _ in range(n_design))
+        return batch

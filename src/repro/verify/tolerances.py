@@ -1,0 +1,128 @@
+"""Typed tolerance policies for differential oracles.
+
+Every oracle in :mod:`repro.verify.oracles` compares a fast implementation
+against its reference under an explicit, named :class:`Tolerance`.  A policy
+is the usual mixed absolute/relative band
+
+    |actual - expected|  <=  abs + rel * |expected|
+
+evaluated elementwise; :meth:`Tolerance.excess` reports *how far over* the
+band the worst element sits (<= 1 passes), so conformance reports can rank
+near-misses instead of collapsing everything to a boolean.
+
+Three regimes recur across the suite and get named constructors:
+
+* :meth:`Tolerance.exact` -- bit-level agreement expected (the vectorized
+  STA max is exact, any fold order reproduces the naive loop),
+* :meth:`Tolerance.kernel` -- floating-point reassociation only (batched
+  SSTA folds sum in a different order than the scalar reference),
+* :meth:`Tolerance.statistical` -- model-vs-sampled comparisons where the
+  band covers approximation error plus Monte-Carlo noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Tolerance:
+    """Mixed absolute/relative agreement band for one comparison.
+
+    Parameters
+    ----------
+    rel:
+        Relative component, scaled by ``|expected|`` elementwise.
+    abs:
+        Absolute floor; also what keeps zero-sigma comparisons meaningful
+        (a relative band around an expected value of 0 is empty).
+    scale_abs_to_expected:
+        When true, the absolute floor is additionally scaled by the largest
+        ``|expected|`` of the whole comparison -- the convention the timing
+        kernel tests use, where "1e-12 of the result's own scale" is the
+        natural unit for delays of order 1e-10 s.
+    """
+
+    rel: float = 0.0
+    abs: float = 0.0
+    scale_abs_to_expected: bool = False
+
+    def __post_init__(self) -> None:
+        if self.rel < 0.0 or self.abs < 0.0:
+            raise ValueError(
+                f"tolerance components must be non-negative, got "
+                f"rel={self.rel}, abs={self.abs}"
+            )
+        if self.rel == 0.0 and self.abs == 0.0:
+            raise ValueError("tolerance must allow some band (rel or abs > 0)")
+
+    # -- named regimes ---------------------------------------------------
+    @classmethod
+    def exact(cls) -> "Tolerance":
+        """Bit-level agreement up to 1e-12 of the result's own scale."""
+        return cls(rel=1e-12, abs=1e-12, scale_abs_to_expected=True)
+
+    @classmethod
+    def kernel(cls) -> "Tolerance":
+        """Floating-point reassociation differences only."""
+        return cls(rel=1e-9, abs=1e-9, scale_abs_to_expected=True)
+
+    @classmethod
+    def statistical(cls, rel: float, abs: float = 0.0) -> "Tolerance":
+        """Model-approximation plus sampling-noise band."""
+        return cls(rel=rel, abs=abs)
+
+    @classmethod
+    def yield_points(cls, points: float) -> "Tolerance":
+        """Absolute band on a probability, in yield percentage points."""
+        return cls(rel=0.0, abs=points / 100.0)
+
+    # -- evaluation ------------------------------------------------------
+    def band(self, expected: np.ndarray) -> np.ndarray:
+        """The allowed elementwise deviation for ``expected``."""
+        expected = np.asarray(expected, dtype=float)
+        floor = self.abs
+        if self.scale_abs_to_expected:
+            # Delays here are of order 1e-10 s: the floor must scale down
+            # with the data (the tiny lower clamp only guards an all-zero
+            # expected array against a zero-width band).
+            scale = float(np.abs(expected).max()) if expected.size else 0.0
+            floor = self.abs * max(scale, 1e-300)
+        return floor + self.rel * np.abs(expected)
+
+    def excess(self, actual, expected) -> float:
+        """Worst deviation as a multiple of the allowed band (<= 1 passes).
+
+        ``actual`` and ``expected`` are broadcastable arrays or scalars.
+        Non-finite disagreements (one side nan/inf, the other not) return
+        ``inf``.
+        """
+        actual = np.asarray(actual, dtype=float)
+        expected = np.asarray(expected, dtype=float)
+        if actual.shape != expected.shape:
+            return float("inf")
+        finite = np.isfinite(actual) & np.isfinite(expected)
+        if not finite.all():
+            same = (~np.isfinite(actual)) & (actual == expected)
+            if not (finite | same).all():
+                return float("inf")
+        if actual.size == 0:
+            return 0.0
+        deviation = np.where(finite, np.abs(actual - expected), 0.0)
+        return float((deviation / self.band(expected)).max())
+
+    def check(self, actual, expected) -> bool:
+        """Whether every element of ``actual`` sits inside the band."""
+        return self.excess(actual, expected) <= 1.0
+
+    def describe(self) -> str:
+        """Compact human-readable band description for reports."""
+        parts = []
+        if self.rel:
+            parts.append(f"rel={self.rel:g}")
+        if self.abs:
+            suffix = "*scale" if self.scale_abs_to_expected else ""
+            parts.append(f"abs={self.abs:g}{suffix}")
+        return "+".join(parts)

@@ -39,6 +39,45 @@ class TestErrorMetrics:
         with pytest.raises(ValueError):
             compare_model_to_samples(1.0, 1.0, np.array([1.0]))
 
+    def test_empty_and_batched_samples_rejected(self):
+        with pytest.raises(ValueError):
+            compare_model_to_samples(1.0, 1.0, np.array([]))
+        with pytest.raises(ValueError):
+            compare_model_to_samples(1.0, 1.0, np.ones((10, 2)))
+
+    def test_zero_sigma_samples(self):
+        """Constant samples: a zero model sigma agrees, a nonzero one can't."""
+        constant = np.full(100, 5.0)
+        report = compare_model_to_samples(5.0, 0.0, constant, target_delay=5.0)
+        assert report.mc_std == 0.0
+        assert report.std_error_percent == 0.0
+        assert report.mc_yield == 1.0
+        # A nonzero model sigma against zero-spread samples has no defined
+        # percent error -- the comparison must refuse, not divide by zero.
+        with pytest.raises(ValueError, match="zero reference"):
+            compare_model_to_samples(5.0, 0.1, constant)
+
+    def test_zero_sigma_yield_is_a_step(self):
+        constant = np.full(100, 5.0)
+        below = compare_model_to_samples(5.0, 0.0, constant, target_delay=4.9)
+        assert below.mc_yield == 0.0
+
+    def test_single_stage_pipeline_comparison(self, mc_engine_combined):
+        """One-stage pipeline: pipeline samples ARE the stage samples."""
+        from repro.pipeline.builder import inverter_chain_pipeline
+
+        run = mc_engine_combined.run_pipeline(inverter_chain_pipeline(1, 4))
+        assert run.n_stages == 1
+        np.testing.assert_array_equal(
+            run.pipeline_samples, run.stage_samples[:, 0]
+        )
+        fitted = run.stage_distributions()[0]
+        report = compare_model_to_samples(
+            fitted.mean, fitted.std, run.pipeline_samples
+        )
+        assert report.mean_error_percent == pytest.approx(0.0, abs=1e-9)
+        assert report.std_error_percent == pytest.approx(0.0, abs=1e-9)
+
 
 class TestHistogram:
     def test_histogram_series_density_normalised(self, rng):
@@ -92,3 +131,35 @@ class TestReporting:
     def test_scientific_formatting_for_small_values(self):
         text = format_table(["v"], [[1.5e-12]])
         assert "e-12" in text
+
+    def test_empty_rows_render_header_only(self):
+        text = format_table(["name", "value"], [], title="empty")
+        lines = text.splitlines()
+        assert lines[0] == "empty"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 3  # title, header, separator -- no data rows
+
+    def test_zero_and_trailing_zero_formatting(self):
+        text = format_table(["v"], [[0.0], [2.500], [-0.0]])
+        lines = text.splitlines()
+        assert lines[2].strip() == "0"
+        assert lines[3].strip() == "2.5"
+        assert lines[4].strip() == "0"
+
+    def test_large_magnitudes_go_scientific(self):
+        text = format_table(["v"], [[12345.6]])
+        assert "1.235e+04" in text
+
+    def test_non_float_cells_pass_through(self):
+        text = format_table(["a", "b"], [[3, "chain -> out"]])
+        assert "3" in text and "chain -> out" in text
+
+    def test_series_error_names_the_offending_series(self):
+        with pytest.raises(ValueError, match="'short'"):
+            format_series(
+                "x", [1, 2], {"fine": [1.0, 2.0], "short": [1.0]}
+            )
+
+    def test_format_series_single_point(self):
+        text = format_series("x", [7], {"y": [0.5]}, title="one point")
+        assert "one point" in text and "0.5" in text

@@ -70,6 +70,23 @@ class TestPipelineSpec:
         spec = PipelineSpec(kind="inverter_chain", n_stages=5, logic_depth=(6, 8, 10, 8, 6))
         assert PipelineSpec.from_json(spec.to_json()) == spec
 
+    def test_options_are_order_insensitive_cache_keys(self):
+        a = PipelineSpec(options={"n_gates": 20, "seed": 7})
+        b = PipelineSpec(options=(("seed", 7), ("n_gates", 20)))
+        assert a == b
+        assert {a: "cached"}[b] == "cached"
+
+    def test_options_json_round_trip(self):
+        spec = PipelineSpec(
+            kind="random_logic",
+            n_stages=2,
+            logic_depth=4,
+            options={"n_gates": 12, "n_inputs": 3, "n_outputs": 2, "seed": 5},
+        )
+        restored = PipelineSpec.from_json(spec.to_json())
+        assert restored == spec
+        assert dict(restored.options)["n_gates"] == 12
+
     def test_register_custom_kind(self):
         def factory(spec, technology):
             return inverter_chain_pipeline(2, 2, technology=technology)

@@ -1,0 +1,306 @@
+"""The differential verification subsystem (``repro.verify``).
+
+Three layers of coverage:
+
+* the harness itself -- tolerances, scenario round trips, fuzzer
+  determinism, oracle registry, and (crucially) that the oracles *detect*
+  injected kernel bugs and corrupted reports rather than vacuously passing;
+* the committed corpus -- every scenario in ``corpus.json`` runs every
+  applicable oracle on one shared session (this is the acceptance gate:
+  all backends, all optimizer x sizer combinations, explicit tolerances);
+* a fresh fuzz batch per run -- new random scenarios every execution
+  (``REPRO_FUZZ_SEED`` pins the batch when a failure needs replaying; the
+  failing seed is always printed).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+
+import numpy as np
+import pytest
+
+from repro.api.session import Session
+from repro.api.spec import PipelineSpec
+from repro.verify import (
+    Scenario,
+    ScenarioFuzzer,
+    Tolerance,
+    available_oracles,
+    builtin_corpus,
+    check_delay_report,
+    check_design_report,
+    get_oracle,
+    oracles_for,
+    register_oracle,
+    run_conformance,
+)
+
+pytestmark = pytest.mark.conformance
+
+CORPUS = builtin_corpus()
+
+
+@pytest.fixture(scope="module")
+def session() -> Session:
+    """One session shared by every corpus scenario (exercises cache keys)."""
+    return Session()
+
+
+@pytest.fixture(scope="module")
+def cheap_study_scenario() -> Scenario:
+    """The smallest committed analysis scenario, for harness-level tests."""
+    return next(s for s in CORPUS if s.name == "chain-1x6-single-stage-mc")
+
+
+# ----------------------------------------------------------------------
+# Tolerance policies
+# ----------------------------------------------------------------------
+class TestTolerance:
+    def test_excess_semantics(self):
+        tol = Tolerance(rel=0.1, abs=0.0)
+        assert tol.excess(1.05, 1.0) == pytest.approx(0.5)
+        assert tol.check(1.05, 1.0)
+        assert not tol.check(1.2, 1.0)
+
+    def test_abs_floor_keeps_zero_expected_checkable(self):
+        tol = Tolerance(rel=0.1, abs=0.01)
+        assert tol.check(0.005, 0.0)
+        assert not tol.check(0.05, 0.0)
+
+    def test_scaled_floor_tracks_the_data_magnitude(self):
+        # Delays of order 1e-10 s: the floor must scale down with them, not
+        # sit at an absolute 1e-12 that would mask real kernel divergence.
+        tol = Tolerance.exact()
+        expected = np.full(4, 1e-10)
+        assert not tol.check(expected * (1.0 + 1e-9), expected)
+        assert tol.check(expected * (1.0 + 1e-13), expected)
+
+    def test_shape_mismatch_and_nonfinite_fail(self):
+        tol = Tolerance(rel=0.1)
+        assert tol.excess(np.ones(3), np.ones(4)) == float("inf")
+        assert tol.excess(np.nan, 1.0) == float("inf")
+
+    def test_empty_band_rejected(self):
+        with pytest.raises(ValueError, match="band"):
+            Tolerance(rel=0.0, abs=0.0)
+        with pytest.raises(ValueError, match="non-negative"):
+            Tolerance(rel=-0.1)
+
+    def test_yield_points(self):
+        tol = Tolerance.yield_points(5.0)
+        assert tol.check(0.90, 0.94)
+        assert not tol.check(0.80, 0.94)
+
+
+# ----------------------------------------------------------------------
+# Scenarios, corpus and fuzzer
+# ----------------------------------------------------------------------
+class TestScenarios:
+    def test_exactly_one_spec_required(self, cheap_study_scenario):
+        with pytest.raises(ValueError, match="exactly one"):
+            Scenario(name="bad")
+        with pytest.raises(ValueError, match="exactly one"):
+            Scenario(
+                name="bad",
+                study=cheap_study_scenario.study,
+                design=CORPUS[-1].design,
+            )
+
+    @pytest.mark.parametrize("scenario", CORPUS, ids=[s.name for s in CORPUS])
+    def test_corpus_round_trips_through_json(self, scenario):
+        assert Scenario.from_json(scenario.to_json()) == scenario
+
+    def test_corpus_meets_the_coverage_floor(self):
+        assert len(CORPUS) >= 25
+        names = [s.name for s in CORPUS]
+        assert len(set(names)) == len(names)
+        backends = {s.study.analysis.backend for s in CORPUS if s.study is not None}
+        assert backends == {"montecarlo", "analytic", "ssta"}
+        combos = {
+            (s.design.design.optimizer, s.design.design.sizer)
+            for s in CORPUS
+            if s.design is not None
+        }
+        assert combos == {
+            (optimizer, sizer)
+            for optimizer in ("balanced", "redistribute", "global")
+            for sizer in ("lagrangian", "greedy")
+        }
+
+    def test_random_logic_pipeline_kind(self):
+        spec = PipelineSpec(
+            kind="random_logic",
+            n_stages=2,
+            logic_depth=5,
+            options={"n_gates": 20, "n_inputs": 4, "n_outputs": 2, "seed": 9},
+        )
+        pipeline = spec.build()
+        assert pipeline.n_stages == 2
+        # Per-stage seeds differ, so the two stages are structurally distinct.
+        fanins = [stage.netlist.fanin_indices() for stage in pipeline.stages]
+        assert fanins[0] != fanins[1]
+        assert PipelineSpec.from_json(spec.to_json()) == spec
+
+    def test_fuzzer_is_deterministic_per_seed(self):
+        first = ScenarioFuzzer(42).scenarios(4, 2)
+        second = ScenarioFuzzer(42).scenarios(4, 2)
+        assert first == second
+        other = ScenarioFuzzer(43).scenarios(4, 2)
+        assert [s.name for s in first] != [s.name for s in other] or first != other
+
+    def test_fuzzed_design_scenarios_are_validated(self):
+        scenario = ScenarioFuzzer(5).design_scenario()
+        assert scenario.kind == "design"
+        assert scenario.design.validation is not None
+        assert scenario.design.validation.backend == "montecarlo"
+
+
+# ----------------------------------------------------------------------
+# Oracle registry and failure detection
+# ----------------------------------------------------------------------
+class TestOracles:
+    def test_all_builtin_oracles_registered(self):
+        expected = {
+            "sta-forward", "sta-backward", "ssta-propagation",
+            "ssta-correlation", "clark-max", "analytic-yield",
+            "backend-agreement", "report-invariants", "design-invariants",
+            "design-isolation", "optimizer-conformance",
+        }
+        assert expected <= set(available_oracles())
+
+    def test_unknown_oracle_error_names_alternatives(self):
+        with pytest.raises(KeyError, match="sta-forward"):
+            get_oracle("spice-diff")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_oracle(get_oracle("sta-forward"))
+
+    def test_kind_dispatch(self):
+        study_names = {oracle.name for oracle in oracles_for("study")}
+        design_names = {oracle.name for oracle in oracles_for("design")}
+        assert "design-isolation" not in study_names
+        assert "analytic-yield" not in design_names
+        assert "sta-forward" in study_names and "sta-forward" in design_names
+
+    def test_sta_oracle_detects_an_injected_kernel_bug(
+        self, session, cheap_study_scenario, monkeypatch
+    ):
+        import repro.verify.oracles as oracles_module
+
+        original = oracles_module.arrival_times
+
+        def buggy(netlist, gate_delays, out=None):
+            return original(netlist, gate_delays, out=out) * (1.0 + 1e-9)
+
+        monkeypatch.setattr(oracles_module, "arrival_times", buggy)
+        check = get_oracle("sta-forward").check(session, cheap_study_scenario)
+        assert not check.passed
+        assert check.excess > 1.0
+
+    def test_oracle_crash_is_a_failure_not_an_abort(
+        self, cheap_study_scenario, monkeypatch
+    ):
+        import repro.verify.oracles as oracles_module
+
+        @dataclasses.dataclass
+        class ExplodingOracle:
+            name: str = "test-exploding"
+            kinds: tuple = ("study",)
+            tolerance: Tolerance = dataclasses.field(default_factory=Tolerance.exact)
+
+            def check(self, session, scenario):
+                raise RuntimeError("boom")
+
+        # setitem (not register_oracle) so the registry is restored at teardown.
+        monkeypatch.setitem(
+            oracles_module._ORACLES, "test-exploding", ExplodingOracle()
+        )
+        report = run_conformance(
+            [cheap_study_scenario], oracles=["test-exploding"]
+        )
+        assert not report.passed
+        (failure,) = report.failures
+        assert "boom" in failure.detail and failure.excess == float("inf")
+
+    def test_tolerance_override_tightens_a_run(self, session, cheap_study_scenario):
+        report = run_conformance(
+            [cheap_study_scenario],
+            session=session,
+            oracles=["analytic-yield"],
+            tolerances={"analytic-yield": Tolerance(rel=0.0, abs=1e-15)},
+        )
+        assert not report.passed
+
+
+# ----------------------------------------------------------------------
+# Invariant checkers catch corrupted reports
+# ----------------------------------------------------------------------
+class TestInvariantDetection:
+    @pytest.fixture(scope="class")
+    def clean_report(self, session, cheap_study_scenario):
+        return session.analyze(cheap_study_scenario.study)
+
+    def test_clean_report_has_no_violations(self, clean_report):
+        assert check_delay_report(clean_report) == []
+
+    def test_pipeline_mean_below_stage_mean_caught(self, clean_report):
+        bad = dataclasses.replace(
+            clean_report,
+            pipeline_mean=clean_report.pipeline_mean * 0.5,
+            samples=None,
+        )
+        assert any("stage mean" in v for v in check_delay_report(bad))
+
+    def test_malformed_correlation_caught(self, clean_report):
+        n = clean_report.n_stages
+        bad = dataclasses.replace(
+            clean_report,
+            correlation=tuple(tuple(2.0 for _ in range(n)) for _ in range(n)),
+        )
+        assert check_delay_report(bad)
+
+    def test_negative_sigma_caught(self, clean_report):
+        bad = dataclasses.replace(clean_report, pipeline_std=-1e-12, samples=None)
+        assert any("sigma" in v for v in check_delay_report(bad))
+
+    def test_corrupted_design_report_caught(self, session):
+        scenario = next(s for s in CORPUS if s.name == "design-balanced-greedy")
+        report = session.design(scenario.design)
+        assert check_design_report(report) == []
+        bad = dataclasses.replace(report, total_area=report.total_area * 2.0)
+        assert any("total_area" in v for v in check_design_report(bad))
+        bad_yield = dataclasses.replace(report, predicted_yield=1.5)
+        assert any("predicted_yield" in v for v in check_design_report(bad_yield))
+
+
+# ----------------------------------------------------------------------
+# The acceptance gate: corpus + fresh fuzz
+# ----------------------------------------------------------------------
+class TestConformanceRuns:
+    @pytest.mark.parametrize("scenario", CORPUS, ids=[s.name for s in CORPUS])
+    def test_corpus_scenario_conforms(self, session, scenario):
+        report = run_conformance([scenario], session=session)
+        assert report.passed, "\n" + report.format(failures_only=True)
+
+    def test_fresh_fuzzed_scenarios_conform(self):
+        """New random scenarios every run; REPRO_FUZZ_SEED replays a batch."""
+        env_seed = os.environ.get("REPRO_FUZZ_SEED")
+        seed = int(env_seed) if env_seed else None
+        report = run_conformance(scenarios=[], fuzz=9, seed=seed)
+        assert report.fuzz_seed is not None
+        assert report.passed, (
+            f"\nreplay with REPRO_FUZZ_SEED={report.fuzz_seed}\n"
+            + report.format(failures_only=True)
+        )
+
+    def test_report_formatting_and_summary(self, session, cheap_study_scenario):
+        report = run_conformance([cheap_study_scenario], session=session)
+        summary = report.summary()
+        assert summary["scenarios"] == 1
+        assert summary["failures"] == 0
+        text = report.format()
+        assert cheap_study_scenario.name in text
+        assert "conformance:" in text

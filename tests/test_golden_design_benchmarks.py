@@ -31,10 +31,14 @@ _GOLDENS_DIR = pathlib.Path(__file__).resolve().parent / "goldens"
 if str(_BENCHMARKS_DIR) not in sys.path:
     sys.path.insert(0, str(_BENCHMARKS_DIR))
 
-pytestmark = pytest.mark.skipif(
-    os.environ.get("REPRO_SKIP_GOLDEN_BENCHMARKS") == "1",
-    reason="golden design-benchmark runs skipped via REPRO_SKIP_GOLDEN_BENCHMARKS",
-)
+pytestmark = [
+    pytest.mark.golden,
+    pytest.mark.slow,
+    pytest.mark.skipif(
+        os.environ.get("REPRO_SKIP_GOLDEN_BENCHMARKS") == "1",
+        reason="golden design-benchmark runs skipped via REPRO_SKIP_GOLDEN_BENCHMARKS",
+    ),
+]
 
 CASES = [
     ("bench_table2_yield_ensure", "reproduce_table2", "table2_ensure_yield"),

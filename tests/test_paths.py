@@ -3,13 +3,14 @@
 import numpy as np
 import pytest
 
-from repro.circuit.generators import inverter_chain
+from repro.circuit.generators import inverter_chain, random_logic_block
 from repro.circuit.netlist import Netlist
 from repro.timing.paths import (
     near_critical_gate_count,
     near_critical_path_count,
     path_report,
 )
+from repro.timing.sta import arrival_times, critical_path, max_delay
 
 
 def build_parallel_paths(n_paths: int, depth: int) -> Netlist:
@@ -61,6 +62,70 @@ class TestNearCriticalCounts:
         chain = inverter_chain(3)
         with pytest.raises(ValueError):
             near_critical_path_count(chain, np.ones((2, 3)), margin=0.1)
+
+
+class TestCriticalPathExtraction:
+    def path_delay(self, netlist: Netlist, delays: np.ndarray, path) -> float:
+        index = netlist.gate_index()
+        return float(sum(delays[index[name]] for name in path))
+
+    def assert_is_real_path(self, netlist: Netlist, path) -> None:
+        """Every consecutive pair on the path must be a fanin edge."""
+        index = netlist.gate_index()
+        fanins = netlist.fanin_indices()
+        for driver, sink in zip(path, path[1:]):
+            assert index[driver] in fanins[index[sink]], (driver, sink)
+
+    def test_single_gate_netlist(self):
+        chain = inverter_chain(1)
+        assert critical_path(chain, np.array([2.0])) == ["inv0"]
+
+    def test_chain_path_is_every_gate_in_order(self):
+        chain = inverter_chain(5)
+        delays = np.arange(1.0, 6.0)
+        path = critical_path(chain, delays)
+        assert path == [f"inv{i}" for i in range(5)]
+        assert self.path_delay(chain, delays, path) == pytest.approx(
+            float(max_delay(chain, delays))
+        )
+
+    def test_unequal_parallel_paths_pick_the_slow_one(self):
+        netlist = build_parallel_paths(3, 4)
+        delays = np.ones(netlist.n_gates)
+        index = netlist.gate_index()
+        for level in range(4):
+            delays[index[f"p1_g{level}"]] = 2.0
+        path = critical_path(netlist, delays)
+        assert all(name.startswith("p1_") for name in path)
+
+    def test_reconvergent_block_path_is_real_and_has_the_block_delay(self):
+        block = random_logic_block(
+            "blk", n_gates=60, depth=10, n_inputs=5, n_outputs=4, seed=3
+        )
+        rng = np.random.default_rng(9)
+        delays = rng.uniform(0.5, 2.0, size=block.n_gates)
+        path = critical_path(block, delays)
+        self.assert_is_real_path(block, path)
+        assert self.path_delay(block, delays, path) == pytest.approx(
+            float(max_delay(block, delays))
+        )
+
+    def test_precomputed_arrivals_match_and_are_validated(self):
+        block = random_logic_block(
+            "blk2", n_gates=30, depth=6, n_inputs=4, n_outputs=3, seed=5
+        )
+        delays = np.linspace(0.5, 1.5, block.n_gates)
+        arrivals = arrival_times(block, delays)
+        assert critical_path(block, delays, arrivals=arrivals) == critical_path(
+            block, delays
+        )
+        with pytest.raises(ValueError, match="shape"):
+            critical_path(block, delays, arrivals=arrivals[:-1])
+
+    def test_batched_delays_rejected(self):
+        chain = inverter_chain(3)
+        with pytest.raises(ValueError, match="1-D"):
+            critical_path(chain, np.ones((2, 3)))
 
 
 class TestPathReport:
