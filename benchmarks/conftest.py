@@ -13,7 +13,12 @@ sys.path.insert(0, str(pathlib.Path(__file__).parent))
 # script only to error on fixture lookup.  Skip collecting those modules
 # when the plugin is absent.  The two perf micro-benchmarks use their own
 # stopwatch (bench_utils.timed_seconds) and always collect.
-_PLUGIN_FREE = {"bench_perf_timing.py", "bench_perf_sizing.py", "bench_utils.py"}
+_PLUGIN_FREE = {
+    "bench_perf_timing.py",
+    "bench_perf_sizing.py",
+    "bench_resilience.py",
+    "bench_utils.py",
+}
 
 if importlib.util.find_spec("pytest_benchmark") is None:
     import pytest

@@ -61,6 +61,15 @@ from repro.api.spec import (
 )
 from repro.api.sweep import ScenarioSweep, SweepResult, run_sweep
 from repro.optimize.sizers import available_sizers, register_sizer
+from repro.robust import (
+    CheckpointStore,
+    ExecutionPolicy,
+    ExecutionTrace,
+    FaultPlan,
+    FaultSpec,
+    PointFailure,
+    SweepExecutionError,
+)
 from repro.core.pipeline_delay import PipelineDelayEstimate, PipelineDelayModel
 from repro.core.stage_delay import StageDelayDistribution
 from repro.core.yield_model import (
@@ -86,15 +95,22 @@ __version__ = "1.0.0"
 __all__ = [
     "__version__",
     "AnalysisSpec",
+    "CheckpointStore",
     "DelayReport",
     "DesignReport",
     "DesignSpec",
     "DesignStudySpec",
+    "ExecutionPolicy",
+    "ExecutionTrace",
+    "FaultPlan",
+    "FaultSpec",
     "PipelineSpec",
+    "PointFailure",
     "ScenarioSweep",
     "Session",
     "Study",
     "StudySpec",
+    "SweepExecutionError",
     "SweepResult",
     "VariationSpec",
     "available_backends",

@@ -53,6 +53,7 @@ from repro.api.spec import (
     AnalysisSpec,
     DesignSpec,
     DesignStudySpec,
+    ExecutionPolicy,
     PipelineSpec,
     StudySpec,
     VariationSpec,
@@ -60,6 +61,12 @@ from repro.api.spec import (
     register_pipeline_kind,
 )
 from repro.api.sweep import ScenarioSweep, SweepPoint, SweepResult, run_sweep
+from repro.robust.failures import (
+    ExecutionTrace,
+    PointFailure,
+    SweepExecutionError,
+)
+from repro.robust.faults import FaultPlan, FaultSpec
 
 __all__ = [
     "AnalysisSpec",
@@ -71,10 +78,15 @@ __all__ = [
     "DesignSnapshot",
     "DesignSpec",
     "DesignStudySpec",
+    "ExecutionPolicy",
+    "ExecutionTrace",
+    "FaultPlan",
+    "FaultSpec",
     "GlobalDesigner",
     "MonteCarloBackend",
     "PipelineOptimizer",
     "PipelineSpec",
+    "PointFailure",
     "RedistributeDesigner",
     "SSTABackend",
     "ScenarioSweep",
@@ -82,6 +94,7 @@ __all__ = [
     "SizingTrace",
     "Study",
     "StudySpec",
+    "SweepExecutionError",
     "SweepPoint",
     "SweepResult",
     "VariationSpec",

@@ -60,6 +60,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.api.design import DesignReport
     from repro.optimize.area_delay import AreaDelayCurve
     from repro.optimize.balance import BalancedDesignResult
+    from repro.robust.checkpoint import CheckpointStore
 
 DEFAULT_ROOT_SEED = 2005
 
@@ -86,6 +87,13 @@ class Session:
         70 nm node).
     root_seed:
         Seed used when an :class:`AnalysisSpec` leaves ``seed=None``.
+    store:
+        Optional :class:`~repro.robust.checkpoint.CheckpointStore` used as
+        a persistent read-through layer under the in-memory report caches:
+        :meth:`analyze` and :meth:`design` consult it before computing and
+        write every freshly computed report back, so reports survive across
+        sessions and processes.  ``store_hits`` / ``store_writes`` count the
+        traffic.
 
     Notes
     -----
@@ -97,10 +105,16 @@ class Session:
     """
 
     def __init__(
-        self, technology: Technology | None = None, root_seed: int = DEFAULT_ROOT_SEED
+        self,
+        technology: Technology | None = None,
+        root_seed: int = DEFAULT_ROOT_SEED,
+        store: "CheckpointStore | None" = None,
     ) -> None:
         self.technology = technology if technology is not None else default_technology()
         self.root_seed = int(root_seed)
+        self.store = store
+        self.store_hits = 0
+        self.store_writes = 0
         self._pipelines: dict[PipelineSpec, Pipeline] = {}
         self._variations: dict[VariationSpec, VariationModel] = {}
         self._mc_runs: dict[tuple, PipelineMonteCarloResult] = {}
@@ -347,6 +361,29 @@ class Session:
         return report
 
     # ------------------------------------------------------------------
+    # Persistent read-through (optional checkpoint store)
+    # ------------------------------------------------------------------
+    def _store_get(self, spec):
+        """Fetch a report from the persistent store, if one is attached."""
+        if self.store is None:
+            return None
+        from repro.robust.checkpoint import resolved_store_spec
+
+        report = self.store.get(resolved_store_spec(spec, self))
+        if report is not None:
+            self.store_hits += 1
+        return report
+
+    def _store_put(self, spec, report) -> None:
+        """Persist a freshly computed report, if a store is attached."""
+        if self.store is None:
+            return
+        from repro.robust.checkpoint import resolved_store_spec
+
+        self.store.put(resolved_store_spec(spec, self), report)
+        self.store_writes += 1
+
+    # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
     def analyze(self, study: StudySpec, backend: str | None = None) -> DelayReport:
@@ -356,7 +393,10 @@ class Session:
         key = (study.pipeline, study.variation, study.analysis)
         report = self._reports.get(key)
         if report is None:
-            report = get_backend(study.analysis.backend).analyze(self, study)
+            report = self._store_get(study)
+            if report is None:
+                report = get_backend(study.analysis.backend).analyze(self, study)
+                self._store_put(study, report)
             self._reports[key] = report
         return report
 
@@ -389,7 +429,10 @@ class Session:
         key = (spec.pipeline, spec.variation, spec.design, spec.validation)
         report = self._design_reports.get(key)
         if report is None:
-            report = get_optimizer(spec.design.optimizer).design(self, spec)
+            report = self._store_get(spec)
+            if report is None:
+                report = get_optimizer(spec.design.optimizer).design(self, spec)
+                self._store_put(spec, report)
             self._design_reports[key] = report
         return report
 
@@ -418,6 +461,8 @@ class Session:
         self._design_validations.clear()
         self.cache_hits = 0
         self.cache_misses = 0
+        self.store_hits = 0
+        self.store_writes = 0
 
 
 class Study:

@@ -23,6 +23,13 @@ dataclasses that round-trip through JSON:
 * :class:`DesignStudySpec` -- the full design experiment: pipeline +
   variation + design + optional Monte-Carlo validation.
 
+:class:`ExecutionPolicy` (defined in :mod:`repro.robust.policy`,
+re-exported here) is the same idea pointed at execution instead of
+experiment content: a frozen, validated, JSON-round-trippable description
+of *how* sweep points run -- retries, backoff, timeouts, deadline,
+checkpointing -- kept strictly separate from *what* they compute, so a
+policy never participates in cache keys or result identity.
+
 Because every spec is frozen and hashable it doubles as a cache key: the
 :class:`repro.api.session.Session` memoises built pipelines, Monte-Carlo
 characterisations and SSTA engines by spec, and the sweep runner
@@ -37,6 +44,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping
 
 from repro.process.variation import VariationModel
+from repro.robust.policy import ExecutionPolicy  # noqa: F401  (re-export)
 
 _ORDERINGS = ("increasing", "decreasing", "given")
 _STAGE_ORDERINGS = ("ri_ascending", "ri_descending", "pipeline")

@@ -42,6 +42,14 @@ from repro.analysis.reporting import format_table
 from repro.api.backends import DelayReport
 from repro.api.session import Session, derive_seed
 from repro.api.spec import AnalysisSpec, DesignStudySpec, StudySpec
+from repro.robust.executor import SweepTask, create_pool, execute_tasks
+from repro.robust.failures import (
+    ExecutionTrace,
+    PointFailure,
+    SweepExecutionError,
+)
+from repro.robust.faults import FaultPlan
+from repro.robust.policy import ExecutionPolicy
 
 _SECTIONS = {
     StudySpec: ("pipeline", "variation", "analysis"),
@@ -141,10 +149,33 @@ class SweepPoint:
 
 
 class SweepResult:
-    """Ordered collection of sweep points with tabular conveniences."""
+    """Ordered collection of sweep points with tabular conveniences.
 
-    def __init__(self, points: Sequence[SweepPoint]) -> None:
+    A result may be *partial*: points that exhausted their attempts under
+    the executing :class:`~repro.robust.policy.ExecutionPolicy` appear as
+    structured :class:`~repro.robust.failures.PointFailure` records in
+    :attr:`failures` rather than aborting the sweep, and :attr:`trace`
+    records what the execution layer actually did (pool kind, serial
+    fallback and its reason, retries, worker respawns, checkpoint traffic).
+    Iteration, indexing and the tabular views cover the successful points
+    only; call :meth:`raise_on_failure` to get all-or-nothing semantics.
+    """
+
+    def __init__(
+        self,
+        points: Sequence[SweepPoint],
+        failures: Sequence[PointFailure] = (),
+        trace: ExecutionTrace | None = None,
+    ) -> None:
         self.points = sorted(points, key=lambda point: point.index)
+        self.failures = tuple(
+            sorted(failures, key=lambda failure: failure.index)
+        )
+        self.trace = trace if trace is not None else ExecutionTrace(
+            n_points=len(self.points) + len(self.failures),
+            n_completed=len(self.points),
+            n_failed=len(self.failures),
+        )
 
     def __iter__(self) -> Iterator[SweepPoint]:
         return iter(self.points)
@@ -154,6 +185,30 @@ class SweepResult:
 
     def __getitem__(self, index: int) -> SweepPoint:
         return self.points[index]
+
+    @property
+    def ok(self) -> list[SweepPoint]:
+        """The successful points, in sweep order (alias of ``list(self)``)."""
+        return list(self.points)
+
+    def raise_on_failure(self) -> "SweepResult":
+        """Return ``self`` if fully successful, else raise.
+
+        Raises :class:`~repro.robust.failures.SweepExecutionError` carrying
+        the structured failure list; when an original exception object is
+        available (serial execution) it becomes the ``__cause__`` so the
+        underlying traceback stays visible.
+        """
+        if not self.failures:
+            return self
+        error = SweepExecutionError(self.failures)
+        cause = next(
+            (f.exception for f in self.failures if f.exception is not None),
+            None,
+        )
+        if cause is not None:
+            raise error from cause
+        raise error
 
     def reports(self) -> list[DelayReport]:
         """The per-point reports in sweep order."""
@@ -329,8 +384,23 @@ class ScenarioSweep:
             spec = self._final_spec(spec, branch, session.root_seed)
             yield SweepPoint(index, coords, spec, session.run(spec))
 
+    def tasks(self, session: Session) -> list[SweepTask]:
+        """The sweep as resolved execution tasks (seeds made concrete)."""
+        return [
+            SweepTask(
+                index=index,
+                coords=coords,
+                spec=self._final_spec(spec, branch, session.root_seed),
+            )
+            for index, (coords, spec, branch) in enumerate(self._points)
+        ]
+
     def run(
-        self, session: Session | None = None, n_jobs: int | None = None
+        self,
+        session: Session | None = None,
+        n_jobs: int | None = None,
+        policy: ExecutionPolicy | None = None,
+        fault_plan: FaultPlan | None = None,
     ) -> SweepResult:
         """Evaluate every point; ``n_jobs > 1`` fans out across processes.
 
@@ -338,79 +408,79 @@ class ScenarioSweep:
         caller session's technology and root seed so serial and parallel
         runs compute identical numbers (caches do not cross process
         boundaries); results always come back in sweep order.  If a process
-        pool cannot be created the sweep silently falls back to the serial
-        path.
+        pool cannot be created the sweep falls back to the serial path and
+        records why in ``result.trace.fallback_reason``.
+
+        ``policy`` opts into resilient execution (retries with
+        deterministic backoff, per-point timeouts, a sweep deadline,
+        checkpoint/resume -- see
+        :class:`~repro.robust.policy.ExecutionPolicy`) and switches the
+        failure contract to *partial results*: failing points come back as
+        ``result.failures`` instead of raising.  Without a policy the
+        legacy contract holds -- any point failure raises (a
+        :class:`~repro.robust.failures.SweepExecutionError` wrapping the
+        structured failures, with the original exception as its cause).
+        ``fault_plan`` injects deterministic faults for chaos testing (and
+        implies the partial-result contract).
         """
-        if n_jobs is None or n_jobs <= 1:
-            return SweepResult(list(self.iter_results(session)))
+        # Default the session before branching so serial and parallel runs
+        # resolve ``self.session`` identically.
         if session is None:
             session = self.session if self.session is not None else Session()
-        pool = _make_pool(n_jobs)
-        if pool is None:
-            # No working process pool on this platform: fall back to the
-            # serial path.  Errors raised by the sweep points themselves are
-            # real failures and propagate from pool.map below.
-            return SweepResult(list(self.iter_results(session)))
-        payloads = [
-            (
-                index,
-                coords,
-                self._final_spec(spec, branch, session.root_seed),
-                session.technology,
-                session.root_seed,
-            )
-            for index, (coords, spec, branch) in enumerate(self._points)
-        ]
-        with pool:
-            points = list(pool.map(_evaluate_point, payloads))
-        return SweepResult(points)
-
-
-def _pool_probe() -> None:
-    """No-op task used to force worker spawning before committing to a pool."""
+        strict = policy is None and fault_plan is None
+        points, failures, trace = execute_tasks(
+            self.tasks(session),
+            session,
+            policy=policy,
+            n_jobs=n_jobs,
+            fault_plan=fault_plan,
+        )
+        result = SweepResult(points, failures=failures, trace=trace)
+        if strict:
+            result.raise_on_failure()
+        return result
 
 
 def _make_pool(n_jobs: int):
     """A verified-working process pool, or ``None`` if this platform has none.
 
-    ``ProcessPoolExecutor`` spawns workers lazily, so constructing it can
-    succeed on platforms where forking is forbidden; submitting a probe task
-    surfaces that failure here instead of mid-sweep.
+    Thin compatibility wrapper over
+    :func:`repro.robust.executor.create_pool`, which probes the pool (and
+    reaps the probe's workers with ``wait=True`` on failure) and reports
+    *why* a pool is unavailable; the sweep runner records that reason in
+    the result's :class:`~repro.robust.failures.ExecutionTrace` instead of
+    falling back silently.
     """
-    try:
-        from concurrent.futures import ProcessPoolExecutor
-        from concurrent.futures.process import BrokenProcessPool
-
-        pool = ProcessPoolExecutor(max_workers=n_jobs)
-        try:
-            pool.submit(_pool_probe).result()
-        except (OSError, PermissionError, BrokenProcessPool):
-            pool.shutdown(wait=False, cancel_futures=True)
-            return None
-        return pool
-    except (ImportError, OSError, PermissionError):
-        return None
+    pool, _ = create_pool(n_jobs)
+    return pool
 
 
 _WORKER_SESSION: Session | None = None
 
 
-def _evaluate_point(payload: tuple) -> SweepPoint:
-    """Process-pool entrypoint: evaluate one point on a per-worker session.
+def _worker_session(technology, root_seed: int) -> Session:
+    """The per-worker-process session, rebuilt only when its parameters change.
 
     The worker session mirrors the dispatching session's technology and
     root seed (shipped with each payload), so parallel runs return the same
-    numbers as serial ones; it is rebuilt only if those parameters change.
+    numbers as serial ones; reuse across payloads is what lets one worker
+    share cached pipelines and characterisations over many sweep points.
     """
     global _WORKER_SESSION
-    index, coords, spec, technology, root_seed = payload
     if (
         _WORKER_SESSION is None
         or _WORKER_SESSION.technology != technology
         or _WORKER_SESSION.root_seed != root_seed
     ):
         _WORKER_SESSION = Session(technology=technology, root_seed=root_seed)
-    return SweepPoint(index, coords, spec, _WORKER_SESSION.run(spec))
+    return _WORKER_SESSION
+
+
+def _evaluate_point(payload: tuple) -> SweepPoint:
+    """Process-pool entrypoint: evaluate one point on a per-worker session."""
+    index, coords, spec, technology, root_seed = payload
+    session = _worker_session(technology, root_seed)
+    return SweepPoint(index, coords, spec, session.run(spec))
 
 
 def run_sweep(
@@ -420,8 +490,10 @@ def run_sweep(
     session: Session | None = None,
     n_jobs: int | None = None,
     seed_policy: str = "spawn",
+    policy: ExecutionPolicy | None = None,
+    fault_plan: FaultPlan | None = None,
 ) -> SweepResult:
     """One-shot facade: build a :class:`ScenarioSweep` and run it."""
     return ScenarioSweep(base, axes, mode=mode, seed_policy=seed_policy).run(
-        session=session, n_jobs=n_jobs
+        session=session, n_jobs=n_jobs, policy=policy, fault_plan=fault_plan
     )

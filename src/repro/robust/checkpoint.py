@@ -1,0 +1,222 @@
+"""Content-addressed on-disk checkpoint store for study results.
+
+The specs already round-trip loss-free through JSON and the reports
+(:class:`~repro.api.backends.DelayReport`,
+:class:`~repro.api.design.DesignReport`) compare equal after a JSON round
+trip, so persistence is just *canonical spec JSON -> SHA-256 digest ->
+report JSON on disk*:
+
+* the digest covers exactly the fields that determine the computation --
+  ``(pipeline, variation, analysis)`` for an analysis study, ``(pipeline,
+  variation, design, validation)`` for a design study -- so renaming a
+  study or changing its query targets never misses the cache, and two
+  sweeps over the same physical points share checkpoints;
+* specs with a deferred (``None``) sampling seed must be resolved against
+  the executing session *before* keying (:func:`resolved_store_spec`),
+  otherwise two sessions with different root seeds would poison each
+  other's entries;
+* writes are atomic (temp file + ``os.replace``) so a sweep killed
+  mid-write never leaves a truncated checkpoint, and unreadable or
+  mismatched entries read as misses rather than crashes.
+
+Layout on disk: ``<root>/<digest[:2]>/<digest>.json``, each file holding
+``{"kind", "spec", "report"}`` (the spec payload is stored for audit and
+for :meth:`CheckpointStore.entries`).
+
+This store is the seed of ROADMAP item 5 (persistent result store +
+resumable distributed sweeps): :class:`~repro.api.session.Session` accepts
+a store as its read-through layer, and the sweep executor
+(:mod:`repro.robust.executor`) checkpoints every completed point through
+it, which is what makes killed-then-resumed sweeps bit-identical to
+uninterrupted ones.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+import tempfile
+from typing import TYPE_CHECKING, Any, Iterator, Union
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.backends import DelayReport
+    from repro.api.design import DesignReport
+    from repro.api.session import Session
+    from repro.api.spec import DesignStudySpec, StudySpec
+
+    AnySpec = Union[StudySpec, DesignStudySpec]
+    AnyReport = Union[DelayReport, DesignReport]
+
+
+def spec_store_payload(spec: "AnySpec") -> dict[str, Any]:
+    """The canonical, computation-determining payload of a study spec.
+
+    Excludes presentation-only fields (``name``, yield/quantile query
+    targets) so equal experiments share one checkpoint entry regardless of
+    how they are labelled or queried.
+    """
+    from repro.api.spec import DesignStudySpec, StudySpec
+
+    if isinstance(spec, DesignStudySpec):
+        return {
+            "kind": "design",
+            "pipeline": spec.pipeline.to_dict(),
+            "variation": spec.variation.to_dict(),
+            "design": spec.design.to_dict(),
+            "validation": None
+            if spec.validation is None
+            else spec.validation.to_dict(),
+        }
+    if isinstance(spec, StudySpec):
+        return {
+            "kind": "study",
+            "pipeline": spec.pipeline.to_dict(),
+            "variation": spec.variation.to_dict(),
+            "analysis": spec.analysis.to_dict(),
+        }
+    raise TypeError(
+        f"checkpointable specs are StudySpec/DesignStudySpec, got {type(spec).__name__}"
+    )
+
+
+def spec_digest(spec: "AnySpec") -> str:
+    """SHA-256 content address of a spec's canonical JSON."""
+    canonical = json.dumps(
+        spec_store_payload(spec), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def resolved_store_spec(spec: "AnySpec", session: "Session") -> "AnySpec":
+    """``spec`` with any deferred (``None``) sampling seed made concrete.
+
+    A ``None`` seed means "use the session's root seed", so the on-disk key
+    must bake the resolved value in -- otherwise sessions with different
+    root seeds would collide on one digest while computing different
+    numbers.
+    """
+    from repro.api.spec import DesignStudySpec
+
+    if isinstance(spec, DesignStudySpec):
+        if spec.validation is None or spec.validation.seed is not None:
+            return spec
+        return spec.replace(
+            validation=spec.validation.with_seed(session.resolve_seed(spec.validation))
+        )
+    if spec.analysis.seed is not None:
+        return spec
+    return spec.replace(
+        analysis=spec.analysis.with_seed(session.resolve_seed(spec.analysis))
+    )
+
+
+class CheckpointStore:
+    """Content-addressed ``spec -> report`` store on the local filesystem.
+
+    Safe for concurrent writers of the *same* entry (last atomic replace
+    wins with identical content, since equal digests imply equal
+    computations) and tolerant of torn files: a checkpoint that fails to
+    parse, or whose stored kind disagrees with the requesting spec, reads
+    as a miss.
+    """
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = pathlib.Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    # -- addressing ------------------------------------------------------
+    def path_for(self, digest: str) -> pathlib.Path:
+        """On-disk location of one digest's checkpoint file."""
+        return self.root / digest[:2] / f"{digest}.json"
+
+    def digest(self, spec: "AnySpec") -> str:
+        """The spec's content address (see :func:`spec_digest`)."""
+        return spec_digest(spec)
+
+    # -- read / write ----------------------------------------------------
+    def get(self, spec: "AnySpec") -> "AnyReport | None":
+        """The stored report for ``spec``, or ``None`` on a miss."""
+        from repro.api.backends import DelayReport
+        from repro.api.design import DesignReport
+
+        expected = spec_store_payload(spec)
+        path = self.path_for(self.digest(spec))
+        try:
+            payload = json.loads(path.read_text())
+            if payload.get("kind") != expected["kind"]:
+                raise ValueError(
+                    f"checkpoint kind {payload.get('kind')!r} does not match "
+                    f"spec kind {expected['kind']!r}"
+                )
+            loader = (
+                DesignReport.from_dict
+                if expected["kind"] == "design"
+                else DelayReport.from_dict
+            )
+            report = loader(payload["report"])
+        except (OSError, ValueError, KeyError, TypeError):
+            # Missing, torn, corrupt or mismatched entries are misses, never
+            # crashes: the point simply recomputes (and rewrites the entry).
+            self.misses += 1
+            return None
+        self.hits += 1
+        return report
+
+    def put(self, spec: "AnySpec", report: "AnyReport") -> str:
+        """Persist ``report`` under ``spec``'s digest (atomic); returns it."""
+        digest = self.digest(spec)
+        path = self.path_for(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "kind": spec_store_payload(spec)["kind"],
+            "spec": spec_store_payload(spec),
+            "report": report.to_dict(),
+        }
+        handle, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{digest[:8]}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(handle, "w") as stream:
+                json.dump(payload, stream)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.writes += 1
+        return digest
+
+    # -- introspection ---------------------------------------------------
+    def __contains__(self, spec: object) -> bool:
+        try:
+            return self.path_for(spec_digest(spec)).exists()  # type: ignore[arg-type]
+        except TypeError:
+            return False
+
+    def _files(self) -> Iterator[pathlib.Path]:
+        return self.root.glob("??/*.json")
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._files())
+
+    def digests(self) -> list[str]:
+        """Every stored digest (sorted, for stable iteration)."""
+        return sorted(path.stem for path in self._files())
+
+    def clear(self) -> int:
+        """Delete every checkpoint file; returns how many were removed."""
+        removed = 0
+        for path in list(self._files()):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

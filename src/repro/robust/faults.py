@@ -1,0 +1,238 @@
+"""Deterministic fault injection: replayable chaos for the execution layer.
+
+A :class:`FaultPlan` is pure data -- frozen, picklable, JSON-round-trippable
+-- mapping sweep points to injected failures, in the same spirit as the
+:class:`~repro.verify.scenarios.ScenarioFuzzer`: seeded, enumerable,
+replayable.  The executor consults the plan before evaluating each attempt
+of each point and applies whatever fault it prescribes:
+
+=============  ===============================================================
+``"raise"``    the attempt raises :class:`InjectedFault`
+``"timeout"``  the attempt sleeps ``delay`` seconds first (trips a
+               ``point_timeout`` when one is configured, otherwise just a
+               slow point)
+``"kill"``     the worker process dies mid-task (``os._exit``); in serial
+               execution -- where killing would take the coordinator down
+               too -- a surrogate :class:`InjectedFault` is raised instead
+``"corrupt"``  the attempt *returns* a wrong-typed payload instead of a
+               report, exercising the coordinator's result validation
+=============  ===============================================================
+
+``FaultSpec.attempts`` bounds how many attempts of the point the fault hits:
+``1`` makes a *flaky* point (first attempt fails, a retry succeeds), ``-1``
+makes a *persistent* one (every attempt fails, the point ends as a
+:class:`~repro.robust.failures.PointFailure`).
+
+No module here imports anything from ``repro.api`` -- plans must be
+shippable to worker processes and importable from the spec layer without
+cycles.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import time
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+FAULT_KINDS = ("raise", "timeout", "kill", "corrupt")
+
+#: Sentinel a corrupted attempt yields instead of a report.  A plain string
+#: (picklable, obviously not a DelayReport/DesignReport) so the
+#: coordinator's type validation is what catches it.
+CORRUPTED_RESULT = "__repro_corrupted_result__"
+
+#: Exit code used by injected worker kills (visible in pool diagnostics).
+KILL_EXIT_CODE = 17
+
+
+class InjectedFault(RuntimeError):
+    """The error a ``"raise"`` (or serial ``"kill"``) fault produces."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injected fault: which point, what kind, how persistently.
+
+    Parameters
+    ----------
+    point:
+        Sweep-point index the fault targets.
+    kind:
+        One of :data:`FAULT_KINDS`.
+    attempts:
+        Number of attempts of the point the fault applies to: ``1`` hits
+        only the first attempt (a flaky point), ``k`` hits attempts
+        ``1..k``, ``-1`` hits every attempt (a persistent failure).
+    delay:
+        Seconds a ``"timeout"`` fault sleeps before the attempt proceeds.
+    """
+
+    point: int
+    kind: str
+    attempts: int = 1
+    delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.point < 0:
+            raise ValueError(f"point must be non-negative, got {self.point}")
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"kind must be one of {FAULT_KINDS}, got {self.kind!r}"
+            )
+        if self.attempts != -1 and self.attempts < 1:
+            raise ValueError(
+                f"attempts must be -1 (always) or >= 1, got {self.attempts}"
+            )
+        if self.delay < 0.0:
+            raise ValueError(f"delay must be non-negative, got {self.delay}")
+
+    def applies(self, attempt: int) -> bool:
+        """Whether this fault fires on the given (1-based) attempt."""
+        if attempt < 1:
+            raise ValueError(f"attempt is 1-based, got {attempt}")
+        return self.attempts == -1 or attempt <= self.attempts
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            f.name: getattr(self, f.name) for f in dataclasses.fields(self)
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultSpec":
+        return cls(**dict(data))
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A replayable set of injected faults for one sweep execution.
+
+    Build one explicitly from :class:`FaultSpec` entries, or generate one
+    deterministically with :meth:`seeded`.  The plan is consulted per
+    (point, attempt); the first listed fault for that point whose
+    ``attempts`` window covers the attempt wins.
+    """
+
+    faults: tuple[FaultSpec, ...] = ()
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "faults", tuple(self.faults))
+        for fault in self.faults:
+            if not isinstance(fault, FaultSpec):
+                raise TypeError(
+                    f"faults must be FaultSpec instances, got {type(fault).__name__}"
+                )
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def fault_for(self, point: int, attempt: int) -> FaultSpec | None:
+        """The fault (if any) injected into this attempt of this point."""
+        for fault in self.faults:
+            if fault.point == point and fault.applies(attempt):
+                return fault
+        return None
+
+    def faulted_points(self) -> tuple[int, ...]:
+        """Sorted indices of every point the plan touches."""
+        return tuple(sorted({fault.point for fault in self.faults}))
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        n_points: int,
+        rate: float = 0.25,
+        kinds: Sequence[str] = ("raise",),
+        attempts: int = 1,
+        delay: float = 0.0,
+    ) -> "FaultPlan":
+        """Generate a plan by seeded coin-flips over the points.
+
+        Each point is faulted with probability ``rate``; the kind is drawn
+        uniformly from ``kinds``.  Identical ``(seed, n_points, rate,
+        kinds, attempts, delay)`` always produce the identical plan --
+        chaos you can put in a bug report.
+        """
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {rate}")
+        kinds = tuple(kinds)
+        if not kinds:
+            raise ValueError("kinds must name at least one fault kind")
+        for kind in kinds:
+            if kind not in FAULT_KINDS:
+                raise ValueError(
+                    f"kind must be one of {FAULT_KINDS}, got {kind!r}"
+                )
+        rng = np.random.default_rng(np.random.SeedSequence(int(seed)))
+        faults = []
+        for point in range(int(n_points)):
+            # Draw both variates unconditionally so each point's outcome is
+            # independent of every other point's fault/no-fault decision.
+            hit = rng.uniform() < rate
+            kind = kinds[int(rng.integers(len(kinds)))]
+            if hit:
+                faults.append(
+                    FaultSpec(
+                        point=point, kind=kind, attempts=attempts, delay=delay
+                    )
+                )
+        return cls(tuple(faults), seed=int(seed))
+
+    # -- serialisation --------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "faults": [fault.to_dict() for fault in self.faults],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultPlan":
+        return cls(
+            faults=tuple(
+                FaultSpec.from_dict(entry) for entry in data.get("faults", ())
+            ),
+            seed=data.get("seed"),
+        )
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        return cls.from_dict(json.loads(text))
+
+
+def apply_fault(fault: FaultSpec | None, parallel: bool = False) -> bool:
+    """Perform a fault's side effect inside an attempt.
+
+    Returns ``True`` when the attempt's *result* should be corrupted
+    (``kind == "corrupt"``; the engine substitutes :data:`CORRUPTED_RESULT`
+    for the real report and lets the coordinator's validation catch it).
+    ``"raise"`` raises :class:`InjectedFault`; ``"timeout"`` sleeps and
+    lets the attempt proceed; ``"kill"`` exits the worker process with
+    :data:`KILL_EXIT_CODE` (parallel) or raises a surrogate
+    :class:`InjectedFault` (serial, where a real kill would take the
+    coordinator down with it).
+    """
+    if fault is None:
+        return False
+    if fault.kind == "raise":
+        raise InjectedFault(f"injected failure at point {fault.point}")
+    if fault.kind == "timeout":
+        time.sleep(fault.delay)
+        return False
+    if fault.kind == "kill":
+        if parallel:
+            os._exit(KILL_EXIT_CODE)
+        raise InjectedFault(
+            f"injected worker kill at point {fault.point} (serial surrogate)"
+        )
+    if fault.kind == "corrupt":
+        return True
+    raise ValueError(f"unknown fault kind {fault.kind!r}")  # pragma: no cover

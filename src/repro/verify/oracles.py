@@ -31,6 +31,10 @@ oracle                    fast path vs. reference
                           before and after a design run (mutation isolation)
 ``optimizer-conformance`` the optimizer's model-predicted yield vs. its
                           Monte-Carlo validation
+``sweep-fault-recovery``  fault-injected robust sweep execution vs. the
+                          session's direct answer: injected flaky/persistent
+                          failures must cost zero successful points and
+                          surface as structured failures
 ========================  ====================================================
 
 Every oracle is cheap relative to the scenario's own characterisation
@@ -525,6 +529,88 @@ class OptimizerConformanceOracle:
         )
 
 
+@dataclass
+class SweepFaultRecoveryOracle:
+    """Fault-injected robust sweep execution vs. the session's direct answer.
+
+    Drives the ``repro.robust`` execution layer on a two-point sweep over
+    the scenario's own spec and asserts its recovery contract:
+
+    * point 0 gets a *flaky* injected fault (first attempt raises, the
+      retry must succeed) -- its report must equal ``session.run(spec)``
+      exactly, proving retries lose nothing;
+    * point 1 gets a *persistent* injected fault (every attempt raises) --
+      it must come back as a structured
+      :class:`~repro.robust.failures.PointFailure` with the injected error
+      type and a full attempt count, never as an escaping exception.
+
+    The sweep's axis is the spec ``name``, which no session cache key
+    includes, so both points answer from the already-cached scenario report
+    and the oracle costs nothing beyond the bookkeeping it is checking.
+    """
+
+    name: str = "sweep-fault-recovery"
+    kinds: tuple[str, ...] = ("study", "design")
+    tolerance: Tolerance = field(default_factory=Tolerance.exact)
+
+    def check(self, session: "Session", scenario: Scenario) -> OracleCheck:
+        from repro.api.sweep import ScenarioSweep
+        from repro.robust import ExecutionPolicy, FaultPlan, FaultSpec
+
+        spec = scenario.spec
+        reference = session.run(spec)
+        policy = ExecutionPolicy(max_retries=2, backoff_base=0.0)
+        plan = FaultPlan(
+            (
+                FaultSpec(point=0, kind="raise", attempts=1),
+                FaultSpec(point=1, kind="raise", attempts=-1),
+            )
+        )
+        sweep = ScenarioSweep(
+            spec,
+            {"study.name": [f"{scenario.name}::recovered", f"{scenario.name}::doomed"]},
+            seed_policy="fixed",
+            session=session,
+        )
+        violations: list[str] = []
+        try:
+            result = sweep.run(policy=policy, fault_plan=plan)
+        except Exception as exc:  # noqa: BLE001 - the contract under test
+            return _invariant_check(
+                self,
+                scenario,
+                [f"robust sweep raised instead of isolating: {type(exc).__name__}: {exc}"],
+            )
+        if [point.index for point in result.ok] != [0]:
+            violations.append(
+                f"expected exactly point 0 to survive, got "
+                f"{[point.index for point in result.ok]}"
+            )
+        elif result[0].report != reference:
+            violations.append(
+                "retried point's report differs from the session's direct answer"
+            )
+        if [failure.index for failure in result.failures] != [1]:
+            violations.append(
+                f"expected exactly point 1 to fail, got "
+                f"{[failure.index for failure in result.failures]}"
+            )
+        else:
+            failure = result.failures[0]
+            if failure.error_type != "InjectedFault":
+                violations.append(
+                    f"failure lost its error type: {failure.error_type!r}"
+                )
+            if failure.attempts != policy.max_attempts:
+                violations.append(
+                    f"persistent fault consumed {failure.attempts} attempts, "
+                    f"expected {policy.max_attempts}"
+                )
+        if result.trace.n_retries < 1:
+            violations.append("trace recorded no retries under a flaky fault")
+        return _invariant_check(self, scenario, violations)
+
+
 for _oracle in (
     StaForwardOracle(),
     StaBackwardOracle(),
@@ -537,5 +623,6 @@ for _oracle in (
     DesignInvariantsOracle(),
     DesignIsolationOracle(),
     OptimizerConformanceOracle(),
+    SweepFaultRecoveryOracle(),
 ):
     register_oracle(_oracle)

@@ -119,6 +119,11 @@ class Scenario:
         return "study" if self.study is not None else "design"
 
     @property
+    def spec(self) -> StudySpec | DesignStudySpec:
+        """The wrapped spec, whichever study kind the scenario carries."""
+        return self.study if self.study is not None else self.design
+
+    @property
     def pipeline(self) -> PipelineSpec:
         """The scenario's pipeline spec, whichever study kind it wraps."""
         spec = self.study if self.study is not None else self.design

@@ -2,12 +2,23 @@
 
 from __future__ import annotations
 
+import dataclasses
+
 import numpy as np
 import pytest
 
+import repro.api.sweep as sweep_module
 from repro.api.session import Session, Study, derive_seed
 from repro.api.spec import AnalysisSpec, PipelineSpec, StudySpec, VariationSpec
-from repro.api.sweep import ScenarioSweep, SweepPoint, apply_axis, run_sweep
+from repro.api.sweep import (
+    ScenarioSweep,
+    SweepPoint,
+    _evaluate_point,
+    _worker_session,
+    apply_axis,
+    run_sweep,
+)
+from repro.process.technology import default_technology
 
 
 @pytest.fixture(scope="module")
@@ -223,6 +234,35 @@ class TestSweepExecution:
         # Both points share one cached characterisation under either policy.
         assert (session.cache_hits, session.cache_misses) == (1, 1), policy
 
+    def test_serial_and_parallel_default_the_bound_session_identically(
+        self, base_spec
+    ):
+        """Both branches of ``run`` must resolve ``self.session`` the same
+        way: with a None base seed, per-point seeds spawn from the *bound*
+        session's root seed whether or not a pool is used."""
+        spec = base_spec.replace(analysis=base_spec.analysis.with_seed(None))
+        axes = {"pipeline.n_stages": [2, 3]}
+        bound_serial = ScenarioSweep(spec, axes, session=Session(root_seed=7))
+        bound_parallel = ScenarioSweep(spec, axes, session=Session(root_seed=7))
+        serial = bound_serial.run()  # no explicit session either way
+        parallel = bound_parallel.run(n_jobs=2)
+        expected = [derive_seed(7, 0), derive_seed(7, 1)]
+        assert [p.spec.analysis.seed for p in serial] == expected
+        assert [p.spec.analysis.seed for p in parallel] == expected
+        assert serial.reports() == parallel.reports()
+
+    def test_run_attaches_an_execution_trace(self, base_spec):
+        result = ScenarioSweep(
+            base_spec, {"pipeline.n_stages": [2, 3]}, seed_policy="fixed"
+        ).run(session=Session())
+        trace = result.trace
+        assert trace.pool_kind == "serial"
+        assert trace.fallback_reason is None
+        assert (trace.n_points, trace.n_completed, trace.n_failed) == (2, 2, 0)
+        assert result.failures == ()
+        assert result.ok == list(result)
+        assert result.raise_on_failure() is result
+
     def test_study_sweep_binds_the_study_session(self, base_spec):
         study = Study(base_spec)
         study.run()
@@ -232,3 +272,50 @@ class TestSweepExecution:
         sweep.run()
         # the sweep ran on the study's session and reused its characterisation
         assert (study.session.cache_hits, study.session.cache_misses) == (1, 1)
+
+
+class TestWorkerSessionReuse:
+    """The module-global worker session must be reused across payloads and
+    rebuilt exactly when the dispatching session's parameters change."""
+
+    @pytest.fixture(autouse=True)
+    def fresh_worker_state(self, monkeypatch):
+        monkeypatch.setattr(sweep_module, "_WORKER_SESSION", None)
+
+    def test_reused_for_identical_parameters(self):
+        technology = default_technology()
+        first = _worker_session(technology, 7)
+        assert sweep_module._WORKER_SESSION is first
+        assert _worker_session(technology, 7) is first
+
+    def test_rebuilt_on_root_seed_change(self):
+        technology = default_technology()
+        first = _worker_session(technology, 7)
+        second = _worker_session(technology, 8)
+        assert second is not first
+        assert second.root_seed == 8
+        assert sweep_module._WORKER_SESSION is second
+
+    def test_rebuilt_on_technology_change(self):
+        technology = default_technology()
+        first = _worker_session(technology, 7)
+        altered = dataclasses.replace(technology, vdd=technology.vdd * 1.1)
+        second = _worker_session(altered, 7)
+        assert second is not first
+        assert second.technology == altered
+        # and switching back rebuilds again (no multi-entry cache)
+        third = _worker_session(technology, 7)
+        assert third is not second
+
+    def test_evaluate_point_runs_on_the_worker_session(self, base_spec):
+        payload = (0, (("pipeline.n_stages", 2),), base_spec,
+                   default_technology(), 7)
+        point = _evaluate_point(payload)
+        worker = sweep_module._WORKER_SESSION
+        assert worker is not None and worker.root_seed == 7
+        assert point.report == Session().analyze(base_spec)
+        # a second payload with the same parameters reuses the session: the
+        # cached report object comes back identically (not just equal)
+        again = _evaluate_point(payload)
+        assert again.report is point.report
+        assert sweep_module._WORKER_SESSION is worker

@@ -1,0 +1,252 @@
+"""ExecutionPolicy, FaultPlan and CheckpointStore: the robust layer's data."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api.session import Session
+from repro.api.spec import (
+    AnalysisSpec,
+    DesignSpec,
+    DesignStudySpec,
+    PipelineSpec,
+    StudySpec,
+    VariationSpec,
+)
+from repro.robust import (
+    CheckpointStore,
+    ExecutionPolicy,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    apply_fault,
+    resolved_store_spec,
+    spec_digest,
+)
+
+
+@pytest.fixture
+def study_spec() -> StudySpec:
+    return StudySpec(
+        pipeline=PipelineSpec(n_stages=2, logic_depth=3),
+        variation=VariationSpec.combined(),
+        analysis=AnalysisSpec(backend="montecarlo", n_samples=200, seed=11),
+    )
+
+
+@pytest.fixture
+def design_spec() -> DesignStudySpec:
+    return DesignStudySpec(
+        pipeline=PipelineSpec(n_stages=2, logic_depth=3),
+        variation=VariationSpec.combined(),
+        design=DesignSpec(optimizer="balanced"),
+        validation=AnalysisSpec(n_samples=200, seed=11),
+    )
+
+
+class TestExecutionPolicy:
+    def test_defaults_mean_legacy_behaviour(self):
+        policy = ExecutionPolicy()
+        assert policy.max_attempts == 1
+        assert policy.point_timeout is None
+        assert policy.sweep_deadline is None
+        assert policy.checkpoint_dir is None
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_retries": -1},
+            {"backoff_base": -0.1},
+            {"backoff_factor": 0.5},
+            {"backoff_jitter": 1.0},
+            {"backoff_jitter": -0.1},
+            {"point_timeout": 0.0},
+            {"sweep_deadline": -1.0},
+            {"retry_seed": -3},
+        ],
+    )
+    def test_validation_rejects_bad_fields(self, kwargs):
+        with pytest.raises(ValueError):
+            ExecutionPolicy(**kwargs)
+
+    def test_backoff_is_exponential_capped_and_deterministic(self):
+        policy = ExecutionPolicy(
+            backoff_base=0.1, backoff_factor=2.0, backoff_cap=0.3,
+            backoff_jitter=0.0,
+        )
+        assert policy.backoff_delay(0, 1) == pytest.approx(0.1)
+        assert policy.backoff_delay(0, 2) == pytest.approx(0.2)
+        assert policy.backoff_delay(0, 5) == pytest.approx(0.3)  # capped
+
+    def test_jitter_is_seed_derived_and_replayable(self):
+        policy = ExecutionPolicy(backoff_jitter=0.5, retry_seed=7)
+        delays = [policy.backoff_delay(3, 2) for _ in range(3)]
+        assert len(set(delays)) == 1  # same (point, attempt) -> same delay
+        assert policy.backoff_delay(3, 2) != policy.backoff_delay(4, 2)
+        assert (
+            policy.backoff_delay(3, 2)
+            != policy.replace(retry_seed=8).backoff_delay(3, 2)
+        )
+        base = policy.replace(backoff_jitter=0.0).backoff_delay(3, 2)
+        assert abs(policy.backoff_delay(3, 2) - base) <= 0.5 * base
+
+    def test_zero_base_disables_backoff(self):
+        assert ExecutionPolicy(backoff_base=0.0).backoff_delay(0, 3) == 0.0
+
+    def test_json_round_trip(self, tmp_path):
+        policy = ExecutionPolicy(
+            max_retries=3, point_timeout=2.5, checkpoint_dir=str(tmp_path)
+        )
+        assert ExecutionPolicy.from_json(policy.to_json()) == policy
+        with pytest.raises(ValueError, match="unknown ExecutionPolicy field"):
+            ExecutionPolicy.from_dict({"max_retries": 1, "bogus": 2})
+
+
+class TestFaultPlan:
+    def test_fault_spec_validation(self):
+        with pytest.raises(ValueError, match="kind"):
+            FaultSpec(point=0, kind="explode")
+        with pytest.raises(ValueError, match="attempts"):
+            FaultSpec(point=0, kind="raise", attempts=0)
+        with pytest.raises(ValueError, match="point"):
+            FaultSpec(point=-1, kind="raise")
+
+    def test_applies_window(self):
+        flaky = FaultSpec(point=0, kind="raise", attempts=1)
+        persistent = FaultSpec(point=0, kind="raise", attempts=-1)
+        assert flaky.applies(1) and not flaky.applies(2)
+        assert persistent.applies(1) and persistent.applies(99)
+
+    def test_fault_for_matches_point_and_attempt(self):
+        plan = FaultPlan(
+            (
+                FaultSpec(point=1, kind="raise", attempts=2),
+                FaultSpec(point=3, kind="timeout", attempts=-1, delay=0.5),
+            )
+        )
+        assert plan.fault_for(1, 1).kind == "raise"
+        assert plan.fault_for(1, 3) is None
+        assert plan.fault_for(3, 10).delay == 0.5
+        assert plan.fault_for(0, 1) is None
+        assert plan.faulted_points() == (1, 3)
+
+    def test_seeded_plans_are_replayable(self):
+        a = FaultPlan.seeded(42, 50, rate=0.3, kinds=("raise", "corrupt"))
+        b = FaultPlan.seeded(42, 50, rate=0.3, kinds=("raise", "corrupt"))
+        assert a == b
+        assert 0 < len(a) < 50
+        assert FaultPlan.seeded(43, 50, rate=0.3, kinds=("raise", "corrupt")) != a
+
+    def test_json_round_trip(self):
+        plan = FaultPlan.seeded(7, 20, rate=0.5, kinds=("raise", "timeout"))
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_apply_fault_raise_and_serial_kill(self):
+        with pytest.raises(InjectedFault):
+            apply_fault(FaultSpec(point=0, kind="raise"), parallel=False)
+        with pytest.raises(InjectedFault, match="serial surrogate"):
+            apply_fault(FaultSpec(point=0, kind="kill"), parallel=False)
+        assert apply_fault(FaultSpec(point=0, kind="corrupt")) is True
+        assert apply_fault(None) is False
+        assert apply_fault(FaultSpec(point=0, kind="timeout", delay=0.0)) is False
+
+
+class TestCheckpointStore:
+    def test_digest_excludes_presentation_fields(self, study_spec):
+        renamed = study_spec.replace(name="anything-else")
+        retargeted = study_spec.replace(target_yield=0.9)
+        assert spec_digest(study_spec) == spec_digest(renamed)
+        assert spec_digest(study_spec) == spec_digest(retargeted)
+        changed = study_spec.replace(
+            analysis=study_spec.analysis.with_seed(12)
+        )
+        assert spec_digest(study_spec) != spec_digest(changed)
+
+    def test_digest_separates_study_and_design_kinds(self, study_spec, design_spec):
+        assert spec_digest(study_spec) != spec_digest(design_spec)
+        with pytest.raises(TypeError, match="checkpointable specs"):
+            spec_digest(study_spec.analysis)
+
+    def test_resolved_store_spec_bakes_in_the_session_seed(self, study_spec):
+        deferred = study_spec.replace(
+            analysis=study_spec.analysis.with_seed(None)
+        )
+        resolved = resolved_store_spec(deferred, Session(root_seed=7))
+        assert resolved.analysis.seed == 7
+        # different sessions must key differently, or entries would collide
+        other = resolved_store_spec(deferred, Session(root_seed=8))
+        assert spec_digest(resolved) != spec_digest(other)
+        # concrete seeds pass through untouched
+        assert resolved_store_spec(study_spec, Session(root_seed=7)) is study_spec
+
+    def test_put_get_round_trip_is_exact(self, tmp_path, study_spec):
+        session = Session()
+        report = session.run(study_spec)
+        store = CheckpointStore(tmp_path)
+        digest = store.put(study_spec, report)
+        assert study_spec in store
+        assert len(store) == 1 and store.digests() == [digest]
+        assert store.get(study_spec) == report
+        assert (store.hits, store.writes) == (1, 1)
+
+    def test_design_reports_round_trip(self, tmp_path, design_spec):
+        session = Session()
+        report = session.run(design_spec)
+        store = CheckpointStore(tmp_path)
+        store.put(design_spec, report)
+        assert store.get(design_spec) == report
+
+    def test_missing_and_corrupt_entries_are_misses(self, tmp_path, study_spec):
+        store = CheckpointStore(tmp_path)
+        assert store.get(study_spec) is None
+        path = store.path_for(store.digest(study_spec))
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text("{ not json")
+        assert store.get(study_spec) is None
+        path.write_text(json.dumps({"kind": "design", "report": {}}))
+        assert store.get(study_spec) is None  # kind mismatch
+        assert store.misses == 3
+
+    def test_clear_removes_everything(self, tmp_path, study_spec):
+        session = Session()
+        store = CheckpointStore(tmp_path)
+        store.put(study_spec, session.run(study_spec))
+        assert store.clear() == 1
+        assert len(store) == 0
+
+
+class TestSessionStoreReadThrough:
+    def test_analyze_reads_through_and_writes_back(self, tmp_path, study_spec):
+        store = CheckpointStore(tmp_path)
+        first = Session(store=store)
+        report = first.analyze(study_spec)
+        assert (first.store_hits, first.store_writes) == (0, 1)
+        # a brand-new session (empty in-memory caches) answers from disk
+        second = Session(store=store)
+        assert second.analyze(study_spec) == report
+        assert (second.store_hits, second.store_writes) == (1, 0)
+        assert second.cache_misses == 0  # no characterisation was rebuilt
+        # and the in-memory cache now fronts the store
+        second.analyze(study_spec)
+        assert second.store_hits == 1
+
+    def test_design_reads_through(self, tmp_path, design_spec):
+        store = CheckpointStore(tmp_path)
+        report = Session(store=store).design(design_spec)
+        fresh = Session(store=store)
+        assert fresh.design(design_spec) == report
+        assert (fresh.store_hits, fresh.store_writes) == (1, 0)
+
+    def test_sessions_without_store_are_unaffected(self, study_spec):
+        session = Session()
+        session.analyze(study_spec)
+        assert (session.store_hits, session.store_writes) == (0, 0)
+
+    def test_clear_resets_store_counters(self, tmp_path, study_spec):
+        store = CheckpointStore(tmp_path)
+        session = Session(store=store)
+        session.analyze(study_spec)
+        session.clear()
+        assert (session.store_hits, session.store_writes) == (0, 0)
