@@ -1,0 +1,210 @@
+"""Serving benchmark: latency, throughput and coalescing under concurrency.
+
+Boots a :class:`~repro.serve.server.BackgroundServer` on an ephemeral port
+and fires thousands of concurrent ``POST /v1/study`` submissions at it from
+an asyncio load generator, in two mixes:
+
+* **duplicate-heavy** -- 1000 submissions over 8 unique specs, the
+  "everyone asks the dashboard the same question" shape that request
+  coalescing and the shared session cache exist for; the benchmark asserts
+  the server characterised each unique spec exactly once.
+* **unique-heavy** -- 1000 submissions, every spec distinct, the worst case
+  for coalescing and the honest measure of raw request throughput.
+
+Per-mix results (p50/p99 latency, wall-clock throughput, coalescing
+hit-rate, server/session counter deltas) go to
+``benchmarks/results/perf_serve.json`` so future PRs can track the serving
+path's trajectory.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py
+
+or through pytest (the assertions enforce the PR's perf floor)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_serve.py -q
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import json
+import pathlib
+import time
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+N_SUBMISSIONS = 1000
+N_UNIQUE_DUPLICATE_HEAVY = 8
+MAX_SOCKETS = 200  # concurrent connections the load generator holds open
+
+
+def _spec_body(seed: int) -> bytes:
+    """A tiny, fully analytical study spec: distinct per seed, cheap to run."""
+    from repro.api import AnalysisSpec, PipelineSpec, StudySpec
+
+    spec = StudySpec(
+        pipeline=PipelineSpec(n_stages=2, logic_depth=3),
+        analysis=AnalysisSpec(backend="ssta", n_samples=64, seed=seed),
+    )
+    return json.dumps(spec.to_dict()).encode("utf-8")
+
+
+async def _post_study(host: str, port: int, body: bytes) -> int:
+    """One raw async POST (Connection: close); returns the HTTP status."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(
+            (
+                f"POST /v1/study HTTP/1.1\r\n"
+                f"Host: {host}:{port}\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                f"Connection: close\r\n\r\n"
+            ).encode("latin-1")
+            + body
+        )
+        await writer.drain()
+        status_line = await reader.readline()
+        status = int(status_line.split(b" ", 2)[1])
+        await reader.read()  # drain headers + body to EOF (connection closes)
+        return status
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+
+
+async def _fire(host: str, port: int, bodies: list[bytes]) -> tuple[list[float], list[int], float]:
+    """All submissions at once, socket-bounded; per-request latencies + wall."""
+    semaphore = asyncio.Semaphore(MAX_SOCKETS)
+
+    async def one(body: bytes) -> tuple[float, int]:
+        t0 = time.monotonic()  # latency includes queueing behind the semaphore
+        async with semaphore:
+            status = await _post_study(host, port, body)
+        return time.monotonic() - t0, status
+
+    t_start = time.monotonic()
+    outcomes = await asyncio.gather(*(one(body) for body in bodies))
+    wall = time.monotonic() - t_start
+    latencies = [latency for latency, _ in outcomes]
+    statuses = [status for _, status in outcomes]
+    return latencies, statuses, wall
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    index = min(len(sorted_values) - 1, round(q * (len(sorted_values) - 1)))
+    return sorted_values[index]
+
+
+def _run_mix(server, bodies: list[bytes], label: str) -> dict:
+    stats_before = server.server.stats.to_dict()
+    latencies, statuses, wall = asyncio.run(
+        _fire(server.host, server.port, bodies)
+    )
+    stats_after = server.server.stats.to_dict()
+    delta = {k: stats_after[k] - stats_before[k] for k in stats_after}
+    ordered = sorted(latencies)
+    n_ok = sum(1 for status in statuses if status == 200)
+    return {
+        "mix": label,
+        "n_submissions": len(bodies),
+        "n_ok": n_ok,
+        "n_rejected": len(bodies) - n_ok,
+        "wall_s": wall,
+        "throughput_rps": len(bodies) / wall,
+        "latency_p50_s": _percentile(ordered, 0.50),
+        "latency_p99_s": _percentile(ordered, 0.99),
+        "latency_max_s": ordered[-1],
+        "coalesced": delta["coalesced"],
+        "computed": delta["computed"],
+        "coalescing_hit_rate": delta["coalesced"] / len(bodies),
+        "server_delta": delta,
+    }
+
+
+@functools.lru_cache(maxsize=1)
+def run_benchmark() -> dict:
+    from repro.serve import BackgroundServer, ServeBudgets, ServeConfig
+
+    config = ServeConfig(
+        workers=8, budgets=ServeBudgets(max_in_flight=4096)
+    )
+    report: dict = {
+        "load": {
+            "n_submissions": N_SUBMISSIONS,
+            "max_sockets": MAX_SOCKETS,
+            "n_unique_duplicate_heavy": N_UNIQUE_DUPLICATE_HEAVY,
+        },
+    }
+
+    # Separate servers per mix: clean counters, cold session caches.
+    duplicate_bodies = [
+        _spec_body(seed % N_UNIQUE_DUPLICATE_HEAVY)
+        for seed in range(N_SUBMISSIONS)
+    ]
+    with BackgroundServer(config=config) as server:
+        report["duplicate_heavy"] = _run_mix(
+            server, duplicate_bodies, "duplicate_heavy"
+        )
+        report["duplicate_heavy"]["unique_specs"] = N_UNIQUE_DUPLICATE_HEAVY
+        report["duplicate_heavy"]["session_reports_cached"] = (
+            server.session.stats()["cached"]["reports"]
+        )
+
+    unique_bodies = [_spec_body(seed) for seed in range(N_SUBMISSIONS)]
+    with BackgroundServer(config=config) as server:
+        report["unique_heavy"] = _run_mix(server, unique_bodies, "unique_heavy")
+        report["unique_heavy"]["unique_specs"] = N_SUBMISSIONS
+        report["unique_heavy"]["session_reports_cached"] = (
+            server.session.stats()["cached"]["reports"]
+        )
+
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    out = RESULTS_DIR / "perf_serve.json"
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def test_every_submission_is_answered():
+    """4096 in-flight budget >= 200 sockets: nothing should be rejected."""
+    report = run_benchmark()
+    for mix in ("duplicate_heavy", "unique_heavy"):
+        assert report[mix]["n_ok"] == report[mix]["n_submissions"], report[mix]
+
+
+def test_duplicate_heavy_mix_characterises_each_spec_once():
+    """1000 duplicate-heavy submissions -> exactly 8 cached characterisations,
+    with in-flight duplicates visibly coalesced."""
+    mix = run_benchmark()["duplicate_heavy"]
+    assert mix["session_reports_cached"] == N_UNIQUE_DUPLICATE_HEAVY, mix
+    assert mix["coalesced"] >= 1, mix
+    assert mix["coalesced"] + mix["computed"] == mix["n_submissions"], mix
+
+
+def test_throughput_floor():
+    """The PR's perf floor: >= 100 submissions/s on the duplicate-heavy mix
+    and >= 25/s on the all-unique mix (conservative for CI machines)."""
+    report = run_benchmark()
+    assert report["duplicate_heavy"]["throughput_rps"] >= 100.0, (
+        report["duplicate_heavy"]
+    )
+    assert report["unique_heavy"]["throughput_rps"] >= 25.0, (
+        report["unique_heavy"]
+    )
+
+
+def test_tail_latency_is_bounded():
+    """p99 stays under 10 s even with every submission in flight at once."""
+    report = run_benchmark()
+    for mix in ("duplicate_heavy", "unique_heavy"):
+        assert report[mix]["latency_p99_s"] < 10.0, report[mix]
+
+
+if __name__ == "__main__":
+    result = run_benchmark()
+    print(json.dumps(result, indent=2))

@@ -36,6 +36,13 @@ api
     pipeline optimizers behind one :class:`DesignReport`, cached sessions
     and the scenario-sweep runner.  This facade is the preferred
     entrypoint; the subpackages above remain the building blocks.
+serve
+    The study API as a service: a stdlib-only asyncio HTTP server
+    (:class:`StudyServer`) routing study/design/sweep submissions through
+    one shared cached :class:`Session`, coalescing identical concurrent
+    requests by content digest, streaming sweep points as NDJSON and
+    enforcing per-tier request budgets; plus the typed :class:`Client`
+    and the ``python -m repro.serve`` entrypoint.
 verify
     The differential verification subsystem: a registry of oracles pairing
     every vectorized kernel with its retained naive reference (and every
@@ -45,6 +52,7 @@ verify
 """
 
 from repro.api.backends import DelayReport, available_backends, register_backend
+from repro.api.canonical import spec_digest
 from repro.api.design import (
     DesignReport,
     available_optimizers,
@@ -86,6 +94,14 @@ from repro.pipeline.builder import (
 from repro.pipeline.pipeline import Pipeline
 from repro.pipeline.stage import PipelineStage
 from repro.process.technology import Technology, default_technology
+from repro.serve import (
+    BackgroundServer,
+    Client,
+    ServeBudgets,
+    ServeConfig,
+    ServerError,
+    StudyServer,
+)
 from repro.process.variation import VariationModel
 from repro.timing.ssta import StatisticalTimingAnalyzer
 from repro.verify import ConformanceReport, Scenario, ScenarioFuzzer, run_conformance
@@ -95,7 +111,9 @@ __version__ = "1.0.0"
 __all__ = [
     "__version__",
     "AnalysisSpec",
+    "BackgroundServer",
     "CheckpointStore",
+    "Client",
     "DelayReport",
     "DesignReport",
     "DesignSpec",
@@ -107,8 +125,12 @@ __all__ = [
     "PipelineSpec",
     "PointFailure",
     "ScenarioSweep",
+    "ServeBudgets",
+    "ServeConfig",
+    "ServerError",
     "Session",
     "Study",
+    "StudyServer",
     "StudySpec",
     "SweepExecutionError",
     "SweepResult",
@@ -121,6 +143,7 @@ __all__ = [
     "register_sizer",
     "run_study",
     "run_sweep",
+    "spec_digest",
     "StageDelayDistribution",
     "PipelineDelayModel",
     "PipelineDelayEstimate",

@@ -24,8 +24,22 @@ paper runs.  It is organised as four layers:
 :mod:`repro.api.sweep`
     :class:`ScenarioSweep` / :func:`run_sweep`: grid and zip sweeps over
     spec axes with streaming results and optional process-parallel fan-out.
+:mod:`repro.api.canonical`
+    Canonical spec JSON, SHA-256 content digests (:func:`spec_digest` --
+    shared by the checkpoint store and the study server's request
+    coalescing) and the tagged wire envelopes specs/reports travel in.
 """
 
+from repro.api.canonical import (
+    canonical_spec_json,
+    report_from_wire,
+    report_to_wire,
+    resolved_store_spec,
+    spec_digest,
+    spec_from_wire,
+    spec_store_payload,
+    spec_to_wire,
+)
 from repro.api.backends import (
     AnalyticBackend,
     DelayAnalysisBackend,
@@ -100,6 +114,7 @@ __all__ = [
     "VariationSpec",
     "available_backends",
     "available_optimizers",
+    "canonical_spec_json",
     "derive_seed",
     "get_backend",
     "get_optimizer",
@@ -107,6 +122,13 @@ __all__ = [
     "register_backend",
     "register_optimizer",
     "register_pipeline_kind",
+    "report_from_wire",
+    "report_to_wire",
+    "resolved_store_spec",
     "run_study",
     "run_sweep",
+    "spec_digest",
+    "spec_from_wire",
+    "spec_store_payload",
+    "spec_to_wire",
 ]

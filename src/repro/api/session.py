@@ -447,6 +447,37 @@ class Session:
             return self.design(spec)
         return self.analyze(spec)
 
+    def stats(self) -> dict:
+        """Counters and cache sizes, as one JSON-safe dictionary.
+
+        ``cache_hits`` / ``cache_misses`` count the expensive intermediates
+        (Monte-Carlo characterisations, balanced baselines, area--delay
+        curves, cached validations); ``store_hits`` / ``store_writes``
+        count persistent read-through traffic; ``cached`` maps every
+        internal cache to its current entry count.  This is what the study
+        server's ``/v1/stats`` endpoint reports.
+        """
+        return {
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "store_hits": self.store_hits,
+            "store_writes": self.store_writes,
+            "root_seed": self.root_seed,
+            "has_store": self.store is not None,
+            "cached": {
+                "pipelines": len(self._pipelines),
+                "variations": len(self._variations),
+                "mc_runs": len(self._mc_runs),
+                "analyzers": len(self._analyzers),
+                "reports": len(self._reports),
+                "sizers": len(self._sizers),
+                "balanced": len(self._balanced),
+                "curves": len(self._curves),
+                "design_reports": len(self._design_reports),
+                "design_validations": len(self._design_validations),
+            },
+        }
+
     def clear(self) -> None:
         """Drop every cached intermediate and report."""
         self._pipelines.clear()

@@ -35,11 +35,18 @@ from __future__ import annotations
 
 import dataclasses
 import itertools
+import json
 from dataclasses import dataclass
 from typing import Any, Iterator, Mapping, Sequence, Union
 
 from repro.analysis.reporting import format_table
 from repro.api.backends import DelayReport
+from repro.api.canonical import (
+    report_from_wire,
+    report_to_wire,
+    spec_from_wire,
+    spec_to_wire,
+)
 from repro.api.session import Session, derive_seed
 from repro.api.spec import AnalysisSpec, DesignStudySpec, StudySpec
 from repro.robust.executor import SweepTask, create_pool, execute_tasks
@@ -147,6 +154,31 @@ class SweepPoint:
             row["delay_at_target_yield"] = self.report.delay_at_yield(target_yield)
         return row
 
+    # -- serialisation --------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """Loss-free JSON-safe view: coords, tagged spec and tagged report.
+
+        This is the unit the study server streams over the wire (one NDJSON
+        line per point); ``from_dict(to_dict())`` compares equal, report
+        samples included.
+        """
+        return {
+            "index": self.index,
+            "coords": [[path, value] for path, value in self.coords],
+            "spec": spec_to_wire(self.spec),
+            "report": report_to_wire(self.report),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SweepPoint":
+        """Rehydrate a point (spec and report rebuilt from tagged envelopes)."""
+        return cls(
+            index=int(data["index"]),
+            coords=tuple((str(path), value) for path, value in data["coords"]),
+            spec=spec_from_wire(data["spec"]),
+            report=report_from_wire(data["report"]),
+        )
+
 
 class SweepResult:
     """Ordered collection of sweep points with tabular conveniences.
@@ -217,6 +249,43 @@ class SweepResult:
     def to_records(self) -> list[dict[str, Any]]:
         """Flat records (coords + summary stats), one per point."""
         return [point.record() for point in self.points]
+
+    # -- serialisation --------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """Loss-free JSON-safe view of the (possibly partial) result.
+
+        Successful points, structured failures and the execution trace all
+        round-trip; the live exception objects inside failures are the only
+        thing dropped (they never serialise, and are excluded from
+        equality).
+        """
+        return {
+            "points": [point.to_dict() for point in self.points],
+            "failures": [failure.to_dict() for failure in self.failures],
+            "trace": self.trace.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SweepResult":
+        """Rehydrate a result from :meth:`to_dict` output."""
+        return cls(
+            [SweepPoint.from_dict(point) for point in data.get("points", [])],
+            failures=[
+                PointFailure.from_dict(failure)
+                for failure in data.get("failures", [])
+            ],
+            trace=ExecutionTrace.from_dict(data["trace"])
+            if data.get("trace") is not None
+            else None,
+        )
+
+    def to_json(self, indent: int | None = None) -> str:
+        """Serialise the full (partial) result, report samples included."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SweepResult":
+        return cls.from_dict(json.loads(text))
 
     def format(self, title: str | None = None) -> str:
         """Plain-text table of the sweep, via the shared report formatter."""

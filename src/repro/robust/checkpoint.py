@@ -33,83 +33,30 @@ uninterrupted ones.
 
 from __future__ import annotations
 
-import hashlib
 import json
 import os
 import pathlib
 import tempfile
-from typing import TYPE_CHECKING, Any, Iterator, Union
+from typing import TYPE_CHECKING, Iterator, Union
+
+# Spec identity (canonical payload + digest + seed resolution) is shared
+# with the serving layer's request coalescing, so it lives in one place:
+# ``repro.api.canonical``.  Re-exported here because the names are part of
+# this module's public API (and the on-disk format they define predates the
+# move -- the regression test in tests/test_canonical.py pins the digests).
+from repro.api.canonical import (  # noqa: F401  (re-exports)
+    resolved_store_spec,
+    spec_digest,
+    spec_store_payload,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.api.backends import DelayReport
     from repro.api.design import DesignReport
-    from repro.api.session import Session
     from repro.api.spec import DesignStudySpec, StudySpec
 
     AnySpec = Union[StudySpec, DesignStudySpec]
     AnyReport = Union[DelayReport, DesignReport]
-
-
-def spec_store_payload(spec: "AnySpec") -> dict[str, Any]:
-    """The canonical, computation-determining payload of a study spec.
-
-    Excludes presentation-only fields (``name``, yield/quantile query
-    targets) so equal experiments share one checkpoint entry regardless of
-    how they are labelled or queried.
-    """
-    from repro.api.spec import DesignStudySpec, StudySpec
-
-    if isinstance(spec, DesignStudySpec):
-        return {
-            "kind": "design",
-            "pipeline": spec.pipeline.to_dict(),
-            "variation": spec.variation.to_dict(),
-            "design": spec.design.to_dict(),
-            "validation": None
-            if spec.validation is None
-            else spec.validation.to_dict(),
-        }
-    if isinstance(spec, StudySpec):
-        return {
-            "kind": "study",
-            "pipeline": spec.pipeline.to_dict(),
-            "variation": spec.variation.to_dict(),
-            "analysis": spec.analysis.to_dict(),
-        }
-    raise TypeError(
-        f"checkpointable specs are StudySpec/DesignStudySpec, got {type(spec).__name__}"
-    )
-
-
-def spec_digest(spec: "AnySpec") -> str:
-    """SHA-256 content address of a spec's canonical JSON."""
-    canonical = json.dumps(
-        spec_store_payload(spec), sort_keys=True, separators=(",", ":")
-    )
-    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
-
-
-def resolved_store_spec(spec: "AnySpec", session: "Session") -> "AnySpec":
-    """``spec`` with any deferred (``None``) sampling seed made concrete.
-
-    A ``None`` seed means "use the session's root seed", so the on-disk key
-    must bake the resolved value in -- otherwise sessions with different
-    root seeds would collide on one digest while computing different
-    numbers.
-    """
-    from repro.api.spec import DesignStudySpec
-
-    if isinstance(spec, DesignStudySpec):
-        if spec.validation is None or spec.validation.seed is not None:
-            return spec
-        return spec.replace(
-            validation=spec.validation.with_seed(session.resolve_seed(spec.validation))
-        )
-    if spec.analysis.seed is not None:
-        return spec
-    return spec.replace(
-        analysis=spec.analysis.with_seed(session.resolve_seed(spec.analysis))
-    )
 
 
 class CheckpointStore:

@@ -73,6 +73,25 @@ class PointFailure:
             "elapsed": self.elapsed,
         }
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "PointFailure":
+        """Rebuild a failure from :meth:`to_dict` output (exception stays lost).
+
+        The live exception object never crosses a serialisation boundary;
+        everything observable (type, message, traceback, attempts, elapsed)
+        round-trips, so ``to_dict -> from_dict`` compares equal
+        (``exception`` is excluded from equality).
+        """
+        return cls(
+            index=int(data["index"]),
+            coords=tuple((str(k), v) for k, v in data.get("coords", [])),
+            error_type=str(data["error_type"]),
+            message=str(data["message"]),
+            traceback=str(data.get("traceback", "")),
+            attempts=int(data.get("attempts", 0)),
+            elapsed=float(data.get("elapsed", 0.0)),
+        )
+
     def __str__(self) -> str:
         return (
             f"point {self.index} failed after {self.attempts} attempt(s): "
@@ -131,6 +150,15 @@ class ExecutionTrace:
         return {
             f.name: getattr(self, f.name) for f in dataclasses.fields(self)
         }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExecutionTrace":
+        """Rebuild a trace from :meth:`to_dict` output (loss-free)."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown ExecutionTrace field(s): {sorted(unknown)}")
+        return cls(**data)
 
     def deterministic_dict(self) -> dict[str, Any]:
         """The trace minus wall-clock fields (for replay comparisons)."""

@@ -1,0 +1,50 @@
+"""repro.serve -- the study API as a long-lived network service.
+
+One shared :class:`~repro.api.session.Session` behind a stdlib-only asyncio
+HTTP server: study/design specs in, typed reports out, sweeps streamed
+point-by-point as NDJSON, identical concurrent submissions coalesced onto a
+single computation, and explicit request budgets instead of unbounded
+queues.
+
+Modules
+-------
+``repro.serve.server``
+    :class:`StudyServer` (the asyncio service), :class:`ServeConfig`,
+    :class:`ServerStats` and :class:`BackgroundServer` (daemon-thread
+    wrapper for tests/benchmarks/embedding).
+``repro.serve.client``
+    :class:`Client` -- typed stdlib client; :class:`SweepEvent`,
+    :class:`ServerError`.
+``repro.serve.budgets``
+    :class:`ServeBudgets` admission limits, :class:`BudgetExceeded`.
+``repro.serve.protocol``
+    The HTTP/1.1 + NDJSON wire layer (useful for custom clients).
+
+Run a server from the command line::
+
+    python -m repro.serve --host 127.0.0.1 --port 8642
+"""
+
+from repro.serve.budgets import BudgetExceeded, ServeBudgets
+from repro.serve.client import Client, ServerError, SweepEvent
+from repro.serve.protocol import PROTOCOL_VERSION, ProtocolError
+from repro.serve.server import (
+    BackgroundServer,
+    ServeConfig,
+    ServerStats,
+    StudyServer,
+)
+
+__all__ = [
+    "BackgroundServer",
+    "BudgetExceeded",
+    "Client",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "ServeBudgets",
+    "ServeConfig",
+    "ServerError",
+    "ServerStats",
+    "StudyServer",
+    "SweepEvent",
+]

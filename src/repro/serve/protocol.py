@@ -1,0 +1,208 @@
+"""Wire protocol of the study server: HTTP/1.1 framing and JSON envelopes.
+
+The server speaks a deliberately small, dependency-free slice of HTTP/1.1
+over raw asyncio streams -- request line + headers + ``Content-Length``
+body in, status line + headers + body out -- enough for ``http.client``,
+``curl`` and any standard library to talk to it:
+
+* unary endpoints (``/v1/study``, ``/v1/design``, ``/v1/health``,
+  ``/v1/stats``) answer with a ``Content-Length`` JSON body;
+* the streaming endpoint (``/v1/sweep``) answers with
+  ``Transfer-Encoding: chunked`` NDJSON -- one :func:`event_line` per
+  completed sweep point, failure, and the final trace -- so a client sees
+  points the moment they finish and connections stay reusable;
+* every error is a structured :func:`error_payload` envelope
+  (``{"error": {"type", "message", "detail"}}``), never a traceback dump.
+
+Keep-alive is honoured (HTTP/1.1 default), so load generators can pipeline
+thousands of requests over a bounded connection pool.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+#: Protocol version reported by /v1/health and checked by the client.
+PROTOCOL_VERSION = 1
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+#: Cap on the request line + headers block (not the body).
+MAX_HEADER_BYTES = 32 * 1024
+
+
+class ProtocolError(Exception):
+    """A malformed or oversized request, mapped to a structured rejection."""
+
+    def __init__(self, status: int, error_type: str, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.error_type = error_type
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request: method, path and decoded JSON body (if any)."""
+
+    method: str
+    path: str
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "keep-alive").lower() != "close"
+
+    def json(self) -> Any:
+        """Decode the body as JSON; malformed bodies become typed 400s."""
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ProtocolError(
+                400, "InvalidJSON", f"request body is not valid JSON: {exc}"
+            ) from exc
+
+
+async def read_request(
+    reader: asyncio.StreamReader, max_body_bytes: int
+) -> HttpRequest | None:
+    """Parse one HTTP request off the stream; ``None`` on clean EOF.
+
+    Raises :class:`ProtocolError` for malformed framing or oversized
+    payloads -- the handler turns those into structured 400/413 responses
+    rather than dropping the connection.
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean EOF between keep-alive requests
+        raise ProtocolError(400, "InvalidRequest", "truncated request head") from exc
+    except asyncio.LimitOverrunError as exc:
+        raise ProtocolError(
+            413, "HeadersTooLarge", f"request head exceeds {MAX_HEADER_BYTES} bytes"
+        ) from exc
+
+    try:
+        request_line, *header_lines = head.decode("latin-1").split("\r\n")
+        method, target, _version = request_line.split(" ", 2)
+    except ValueError as exc:
+        raise ProtocolError(
+            400, "InvalidRequest", f"malformed request line: {head[:80]!r}"
+        ) from exc
+    headers: dict[str, str] = {}
+    for line in header_lines:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise ProtocolError(400, "InvalidRequest", f"malformed header {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    path = target.split("?", 1)[0]
+    body = b""
+    length_text = headers.get("content-length")
+    if length_text is not None:
+        try:
+            length = int(length_text)
+        except ValueError as exc:
+            raise ProtocolError(
+                400, "InvalidRequest", f"bad Content-Length {length_text!r}"
+            ) from exc
+        if length > max_body_bytes:
+            raise ProtocolError(
+                413,
+                "PayloadTooLarge",
+                f"request body of {length} bytes exceeds the "
+                f"{max_body_bytes}-byte cap",
+            )
+        if length:
+            try:
+                body = await reader.readexactly(length)
+            except asyncio.IncompleteReadError as exc:
+                raise ProtocolError(
+                    400, "InvalidRequest", "request body shorter than Content-Length"
+                ) from exc
+    return HttpRequest(method=method.upper(), path=path, headers=headers, body=body)
+
+
+# ----------------------------------------------------------------------
+# Response framing
+# ----------------------------------------------------------------------
+def _head(
+    status: int, headers: list[tuple[str, str]], keep_alive: bool
+) -> bytes:
+    lines = [f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}"]
+    lines.extend(f"{name}: {value}" for name, value in headers)
+    lines.append(f"Connection: {'keep-alive' if keep_alive else 'close'}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+
+def json_response(
+    status: int, payload: Any, keep_alive: bool = True
+) -> bytes:
+    """A complete ``Content-Length``-framed JSON response."""
+    body = json.dumps(payload).encode("utf-8")
+    return (
+        _head(
+            status,
+            [
+                ("Content-Type", "application/json"),
+                ("Content-Length", str(len(body))),
+            ],
+            keep_alive,
+        )
+        + body
+    )
+
+
+def stream_head(status: int = 200, keep_alive: bool = True) -> bytes:
+    """Response head opening a chunked NDJSON stream."""
+    return _head(
+        status,
+        [
+            ("Content-Type", "application/x-ndjson"),
+            ("Transfer-Encoding", "chunked"),
+        ],
+        keep_alive,
+    )
+
+
+def chunk(data: bytes) -> bytes:
+    """One HTTP chunk (hex length, CRLF, payload, CRLF)."""
+    return f"{len(data):x}\r\n".encode("latin-1") + data + b"\r\n"
+
+
+def last_chunk() -> bytes:
+    """The zero-length terminator of a chunked stream."""
+    return b"0\r\n\r\n"
+
+
+# ----------------------------------------------------------------------
+# JSON envelopes
+# ----------------------------------------------------------------------
+def error_payload(
+    error_type: str, message: str, detail: Mapping[str, Any] | None = None
+) -> dict[str, Any]:
+    """The structured error envelope every rejection uses."""
+    payload: dict[str, Any] = {"error": {"type": error_type, "message": message}}
+    if detail:
+        payload["error"]["detail"] = dict(detail)
+    return payload
+
+
+def event_line(event: Mapping[str, Any]) -> bytes:
+    """One NDJSON stream event, newline-terminated."""
+    return (json.dumps(event, separators=(",", ":")) + "\n").encode("utf-8")

@@ -1,0 +1,131 @@
+"""Loss-free JSON round trips for sweep results.
+
+The study server streams :class:`SweepPoint` / :class:`PointFailure` /
+:class:`ExecutionTrace` over the wire and clients fold them back into a
+:class:`SweepResult`, so ``from_json(to_json(result))`` must compare equal
+in every observable way -- points (specs and report samples included),
+structured failures and the execution trace.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api.spec import (
+    AnalysisSpec,
+    DesignSpec,
+    DesignStudySpec,
+    ExecutionPolicy,
+    PipelineSpec,
+    StudySpec,
+)
+from repro.api.session import Session
+from repro.api.sweep import ScenarioSweep, SweepPoint, SweepResult, run_sweep
+from repro.robust.failures import ExecutionTrace, PointFailure
+
+BASE = StudySpec(
+    pipeline=PipelineSpec(n_stages=2),
+    analysis=AnalysisSpec(n_samples=200, seed=9),
+)
+
+
+@pytest.fixture(scope="module")
+def sweep_result() -> SweepResult:
+    return run_sweep(
+        BASE, {"analysis.n_samples": [100, 150, 200]}, session=Session()
+    )
+
+
+class TestSweepPointRoundTrip:
+    def test_point_round_trips_through_json(self, sweep_result):
+        point = sweep_result[0]
+        back = SweepPoint.from_dict(json.loads(json.dumps(point.to_dict())))
+        assert back == point
+        assert back.spec == point.spec
+        assert back.report == point.report
+        assert back.coords == point.coords
+
+    def test_design_point_round_trips(self):
+        base = DesignStudySpec(
+            pipeline=PipelineSpec(n_stages=3),
+            design=DesignSpec(),
+            validation=AnalysisSpec(n_samples=150, seed=4),
+        )
+        result = run_sweep(
+            base, {"design.yield_target": [0.85, 0.9]}, session=Session()
+        )
+        for point in result:
+            back = SweepPoint.from_dict(json.loads(json.dumps(point.to_dict())))
+            assert back == point
+
+
+class TestFailureAndTraceRoundTrip:
+    def test_point_failure_round_trips_without_live_exception(self):
+        failure = PointFailure(
+            index=3,
+            coords=(("analysis.n_samples", 100), ("analysis.seed", 5)),
+            error_type="ValueError",
+            message="synthetic",
+            traceback="Traceback (most recent call last): ...",
+            attempts=2,
+            elapsed=0.25,
+            exception=ValueError("synthetic"),
+        )
+        back = PointFailure.from_dict(json.loads(json.dumps(failure.to_dict())))
+        assert back == failure  # exception excluded from equality
+        assert back.exception is None
+        assert back.coords == failure.coords
+
+    def test_execution_trace_round_trips(self):
+        trace = ExecutionTrace(
+            pool_kind="process",
+            fallback_reason=None,
+            n_jobs=4,
+            n_points=7,
+            n_completed=5,
+            n_failed=2,
+            n_retries=3,
+            n_timeouts=1,
+            checkpoint_hits=2,
+            checkpoint_writes=5,
+            deadline_hit=True,
+            elapsed=1.5,
+        )
+        back = ExecutionTrace.from_dict(json.loads(json.dumps(trace.to_dict())))
+        assert back == trace
+
+    def test_execution_trace_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown ExecutionTrace field"):
+            ExecutionTrace.from_dict({"n_points": 1, "mystery": 2})
+
+
+class TestSweepResultRoundTrip:
+    def test_full_result_round_trips(self, sweep_result):
+        back = SweepResult.from_json(sweep_result.to_json())
+        assert len(back) == len(sweep_result)
+        assert list(back) == list(sweep_result)
+        assert back.failures == sweep_result.failures
+        assert back.trace == sweep_result.trace
+        assert back.to_records() == sweep_result.to_records()
+
+    def test_partial_result_round_trips(self):
+        # An unregistered backend passes spec validation but fails at
+        # resolution time -> one structured failure alongside one point.
+        result = run_sweep(
+            BASE,
+            {"analysis.backend": ["montecarlo", "no-such-backend"]},
+            session=Session(),
+            policy=ExecutionPolicy(max_retries=0, backoff_base=0.0),
+        )
+        assert len(result.points) == 1 and len(result.failures) == 1
+        back = SweepResult.from_json(result.to_json())
+        assert list(back) == list(result)
+        assert back.failures == result.failures
+        assert back.trace.deterministic_dict() == result.trace.deterministic_dict()
+
+    def test_json_text_is_plain_json(self, sweep_result):
+        payload = json.loads(sweep_result.to_json())
+        assert set(payload) == {"points", "failures", "trace"}
+        assert payload["trace"]["n_completed"] == len(sweep_result)
