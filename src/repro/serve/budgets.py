@@ -109,14 +109,21 @@ class ServeBudgets:
                 f"this tier's cap of {self.max_study_samples}",
             )
 
-    def check_sweep(self, specs: list, n_jobs: int | None) -> None:
-        """Validate a sweep submission: point count, fan-out, per-point caps."""
-        if len(specs) > self.max_sweep_points:
+    def check_sweep_size(self, n_points: int, n_jobs: int | None) -> None:
+        """Validate a sweep's shape -- point count and fan-out -- alone.
+
+        The point count can (and on the server, must) be computed from the
+        axis lengths before any point spec is materialised: a request body
+        of a few hundred bytes can describe a combinatorially huge grid, so
+        enforcing this cap only after construction would let one small
+        request pin the host.
+        """
+        if n_points > self.max_sweep_points:
             raise BudgetExceeded(
                 "max_sweep_points",
                 self.max_sweep_points,
-                len(specs),
-                f"sweep has {len(specs)} points, this tier allows "
+                n_points,
+                f"sweep has {n_points} points, this tier allows "
                 f"{self.max_sweep_points}",
             )
         if n_jobs is not None and n_jobs > self.max_n_jobs:
@@ -126,6 +133,10 @@ class ServeBudgets:
                 n_jobs,
                 f"n_jobs={n_jobs} exceeds this tier's cap of {self.max_n_jobs}",
             )
+
+    def check_sweep(self, specs: list, n_jobs: int | None) -> None:
+        """Validate a sweep submission: point count, fan-out, per-point caps."""
+        self.check_sweep_size(len(specs), n_jobs)
         for spec in specs:
             self.check_spec(spec)
 

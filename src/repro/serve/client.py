@@ -90,6 +90,17 @@ class SweepEvent:
         return ExecutionTrace.from_dict(self.data["trace"])
 
 
+#: Failures that mean the reused keep-alive socket was already dead when
+#: this exchange started (server restarted, idle connection reaped): nothing
+#: reached the server, so retrying cannot double-submit work.
+_STALE_SOCKET_ERRORS = (
+    http.client.BadStatusLine,  # includes RemoteDisconnected
+    ConnectionResetError,
+    ConnectionAbortedError,
+    BrokenPipeError,
+)
+
+
 class Client:
     """One keep-alive connection to a :class:`~repro.serve.server.StudyServer`."""
 
@@ -99,6 +110,7 @@ class Client:
         self.timeout = timeout
         self.last_envelope: dict[str, Any] | None = None
         self._conn: http.client.HTTPConnection | None = None
+        self._exchanged = False  #: current connection completed an exchange
 
     # -- plumbing --------------------------------------------------------
     def _connection(self) -> http.client.HTTPConnection:
@@ -106,12 +118,14 @@ class Client:
             self._conn = http.client.HTTPConnection(
                 self.host, self.port, timeout=self.timeout
             )
+            self._exchanged = False
         return self._conn
 
     def close(self) -> None:
         if self._conn is not None:
             self._conn.close()
             self._conn = None
+        self._exchanged = False
 
     def __enter__(self) -> "Client":
         return self
@@ -128,16 +142,26 @@ class Client:
         if payload is not None:
             body = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
+        reused = self._exchanged
         try:
             conn.request(method, path, body=body, headers=headers)
-            return conn.getresponse()
-        except (http.client.HTTPException, ConnectionError, OSError):
-            # Stale keep-alive socket (server restarted / closed): one retry
-            # on a fresh connection, then let the error propagate.
+            response = conn.getresponse()
+        except (http.client.HTTPException, ConnectionError, OSError) as exc:
             self.close()
+            # Retry only when a resubmission cannot double work server-side:
+            # idempotent GETs, or a stale keep-alive socket the server closed
+            # before this exchange started.  A POST that timed out or died
+            # mid-exchange may already be computing -- surface the error
+            # rather than silently submitting the same spec twice.
+            if method != "GET" and not (
+                reused and isinstance(exc, _STALE_SOCKET_ERRORS)
+            ):
+                raise
             conn = self._connection()
             conn.request(method, path, body=body, headers=headers)
-            return conn.getresponse()
+            response = conn.getresponse()
+        self._exchanged = True
+        return response
 
     def _json_call(self, method: str, path: str, payload: Any | None = None) -> Any:
         response = self._request(method, path, payload)
@@ -225,6 +249,10 @@ class Client:
                 if not line:
                     break
                 event = json.loads(line.decode("utf-8"))
+                if event.get("event") == "error":
+                    # The server hit a mid-stream failure after the head was
+                    # out; it ends the stream with a structured error event.
+                    raise _to_server_error(500, event)
                 yield SweepEvent(kind=event["event"], data=event)
         finally:
             # A stream always closes the connection server-side.

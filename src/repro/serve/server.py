@@ -43,7 +43,11 @@ Three production concerns shape the implementation:
 * **Backpressure and graceful drain.**  Admission is checked against
   :class:`~repro.serve.budgets.ServeBudgets` (sampling caps per tier, sweep
   size, ``max_in_flight``); excess load gets structured 429/413 envelopes
-  immediately.  :meth:`StudyServer.shutdown` stops accepting, answers new
+  immediately.  Sweep sizes are computed from the axis lengths *before* the
+  sweep is materialised -- a 1 KB body describing a combinatorially huge
+  grid is rejected without building a single point -- and a failure after a
+  stream's head has been written ends the stream with a structured
+  ``error`` event (never a second response head mid-body).  :meth:`StudyServer.shutdown` stops accepting, answers new
   requests on kept-alive connections with 503, and drains in-flight
   computations to completion before returning.
 
@@ -199,6 +203,7 @@ class StudyServer:
         self._inflight: dict[str, asyncio.Future] = {}
         self._active = 0  #: requests currently computing (coalesced waiters excluded)
         self._handlers: set[asyncio.Task] = set()
+        self._busy: set[asyncio.Task] = set()  #: handlers mid-request
         self._owners: set[asyncio.Task] = set()
         self._draining = False
         self._started_at = time.monotonic()
@@ -240,16 +245,32 @@ class StudyServer:
             self._server.close()
             await self._server.wait_closed()
         if drain:
-            pending = {
-                task
-                for task in self._handlers | self._owners
-                if task is not asyncio.current_task() and not task.done()
-            }
-            if pending:
-                await asyncio.wait(pending, timeout=self.config.drain_timeout)
-        for task in self._handlers | self._owners:
-            if task is not asyncio.current_task() and not task.done():
-                task.cancel()
+            # Wait for in-flight *work* -- computations and handlers that
+            # are mid-request -- not for idle keep-alive connections, which
+            # would otherwise stall the drain for its full timeout.
+            loop = asyncio.get_running_loop()
+            deadline = loop.time() + self.config.drain_timeout
+            while loop.time() < deadline:
+                working = {
+                    task
+                    for task in self._busy | self._owners
+                    if task is not asyncio.current_task() and not task.done()
+                }
+                if not working and self._active == 0:
+                    break
+                await asyncio.sleep(0.02)
+        leftover = [
+            task
+            for task in self._handlers | self._owners
+            if task is not asyncio.current_task() and not task.done()
+        ]
+        for task in leftover:
+            task.cancel()
+        if leftover:
+            # Retrieve the CancelledErrors (idle keep-alive handlers die
+            # here); an unawaited cancelled task logs a spurious traceback
+            # at GC time.
+            await asyncio.gather(*leftover, return_exceptions=True)
         self._executor.shutdown(wait=drain, cancel_futures=not drain)
 
     @property
@@ -285,12 +306,24 @@ class StudyServer:
                     break
                 if request is None:
                     break
-                must_close = await self._dispatch(request, writer)
-                await writer.drain()
-                if must_close or not request.keep_alive:
+                if task is not None:
+                    self._busy.add(task)
+                try:
+                    must_close = await self._dispatch(request, writer)
+                    await writer.drain()
+                finally:
+                    if task is not None:
+                        self._busy.discard(task)
+                if must_close or not request.keep_alive or self._draining:
                     break
         except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
             pass  # client went away; nothing to answer
+        except asyncio.CancelledError:
+            # Shutdown cancelled an idle keep-alive handler.  Finish the
+            # task normally: asyncio.streams' done-callback calls
+            # task.exception() and would log a cancelled task as an
+            # unhandled 'Exception in callback' traceback.
+            pass
         finally:
             if task is not None:
                 self._handlers.discard(task)
@@ -337,6 +370,8 @@ class StudyServer:
                 json_response(exc.status, error_payload(exc.error_type, str(exc)))
             )
             return False
+        except (ConnectionResetError, BrokenPipeError):
+            raise  # dead socket: nothing to answer, _on_connection cleans up
         except Exception as exc:  # noqa: BLE001 - last-resort request guard
             self.stats.errors += 1
             writer.write(
@@ -477,6 +512,15 @@ class StudyServer:
     # Streaming endpoint: /v1/sweep
     # ------------------------------------------------------------------
     def _parse_sweep(self, request: HttpRequest):
+        """Parse and budget-check a sweep request WITHOUT materialising it.
+
+        The prospective point count is computed from the axis lengths alone
+        (product for grid mode, axis length for zip), so a tiny body that
+        describes a combinatorially huge grid is rejected with a structured
+        413 before a single point spec -- let alone the full task list -- is
+        built.  Construction itself happens later, off the event loop, in
+        :meth:`_build_tasks`.
+        """
         payload = request.json()
         if not isinstance(payload, Mapping) or "base" not in payload:
             raise _Rejection(
@@ -484,19 +528,16 @@ class StudyServer:
                 "InvalidSweep",
                 'sweep body must be {"base": <tagged spec>, "axes": {...}, ...}',
             )
-        from repro.api.sweep import ScenarioSweep
-
         try:
             base = spec_from_wire(payload["base"])
             axes = payload.get("axes")
             if not isinstance(axes, Mapping):
                 raise ValueError("axes must be a mapping of path -> values")
-            sweep = ScenarioSweep(
-                base,
-                axes,
-                mode=payload.get("mode", "grid"),
-                seed_policy=payload.get("seed_policy", "spawn"),
-            )
+            mode = payload.get("mode", "grid")
+            if mode not in ("grid", "zip"):
+                raise ValueError(f"mode must be 'grid' or 'zip', got {mode!r}")
+            seed_policy = payload.get("seed_policy", "spawn")
+            n_points = _sweep_point_count(axes, mode)
             n_jobs = payload.get("n_jobs")
             if n_jobs is not None:
                 n_jobs = int(n_jobs)
@@ -513,7 +554,26 @@ class StudyServer:
             raise _Rejection(
                 400, "InvalidSweep", f"not a valid sweep request: {exc}"
             ) from None
-        return sweep, n_jobs, policy, chunk_size
+        try:
+            self.config.budgets.check_sweep_size(n_points, n_jobs)
+        except BudgetExceeded as exc:
+            self.stats.rejected_budget += 1
+            raise _Rejection(
+                413, "BudgetExceeded", str(exc), detail=exc.detail()
+            ) from None
+        return base, axes, mode, seed_policy, n_jobs, policy, chunk_size
+
+    def _build_tasks(self, base, axes, mode: str, seed_policy: str):
+        """Worker-thread entrypoint: materialise an admitted sweep.
+
+        Point-spec derivation (and per-point SeedSequence spawning) is CPU
+        work proportional to the sweep size; running it here keeps the
+        event loop responsive while a large-but-within-budget sweep builds.
+        """
+        from repro.api.sweep import ScenarioSweep
+
+        sweep = ScenarioSweep(base, axes, mode=mode, seed_policy=seed_policy)
+        return sweep.tasks(self.session)
 
     def _sweep_chunk_size(self, n_jobs: int | None, override: int | None) -> int:
         if override is not None:
@@ -546,67 +606,109 @@ class StudyServer:
         but closing after a stream keeps the drain logic trivial; clients
         reconnect cheaply.
         """
-        sweep, n_jobs, policy, chunk_override = self._parse_sweep(request)
-        tasks = sweep.tasks(self.session)
-        try:
-            self.config.budgets.check_sweep([t.spec for t in tasks], n_jobs)
-        except BudgetExceeded as exc:
-            self.stats.rejected_budget += 1
-            raise _Rejection(
-                413, "BudgetExceeded", str(exc), detail=exc.detail()
-            ) from None
+        base, axes, mode, seed_policy, n_jobs, policy, chunk_override = (
+            self._parse_sweep(request)
+        )
         self._admit()
 
         self._active += 1
-        self.stats.streams += 1
         loop = asyncio.get_running_loop()
-        batch = self._sweep_chunk_size(n_jobs, chunk_override)
-        merged = ExecutionTrace(n_jobs=n_jobs, n_points=len(tasks))
-        started = time.monotonic()
         try:
-            writer.write(stream_head(keep_alive=False))
-            writer.write(
-                chunk(
-                    event_line(
-                        {
-                            "event": "start",
-                            "n_points": len(tasks),
-                            "chunk": batch,
-                            "protocol": PROTOCOL_VERSION,
-                        }
+            try:
+                tasks = await loop.run_in_executor(
+                    self._executor, self._build_tasks, base, axes, mode, seed_policy
+                )
+            except (ValueError, TypeError, KeyError) as exc:
+                self.stats.rejected_invalid += 1
+                raise _Rejection(
+                    400, "InvalidSweep", f"not a valid sweep request: {exc}"
+                ) from None
+            try:
+                self.config.budgets.check_sweep([t.spec for t in tasks], n_jobs)
+            except BudgetExceeded as exc:
+                self.stats.rejected_budget += 1
+                raise _Rejection(
+                    413, "BudgetExceeded", str(exc), detail=exc.detail()
+                ) from None
+
+            self.stats.streams += 1
+            batch = self._sweep_chunk_size(n_jobs, chunk_override)
+            merged = ExecutionTrace(n_jobs=n_jobs, n_points=len(tasks))
+            started = time.monotonic()
+            try:
+                writer.write(stream_head(keep_alive=False))
+                writer.write(
+                    chunk(
+                        event_line(
+                            {
+                                "event": "start",
+                                "n_points": len(tasks),
+                                "chunk": batch,
+                                "protocol": PROTOCOL_VERSION,
+                            }
+                        )
                     )
                 )
-            )
-            await writer.drain()
-            for offset in range(0, len(tasks), batch):
-                points, failures, trace = await loop.run_in_executor(
-                    self._executor,
-                    self._run_batch,
-                    tasks[offset : offset + batch],
-                    n_jobs,
-                    policy,
-                )
-                _merge_trace(merged, trace)
-                for point in points:
-                    self.stats.points_streamed += 1
-                    writer.write(
-                        chunk(event_line({"event": "point", "point": point.to_dict()}))
+                await writer.drain()
+                for offset in range(0, len(tasks), batch):
+                    points, failures, trace = await loop.run_in_executor(
+                        self._executor,
+                        self._run_batch,
+                        tasks[offset : offset + batch],
+                        n_jobs,
+                        policy,
                     )
-                for failure in failures:
+                    _merge_trace(merged, trace)
+                    for point in points:
+                        self.stats.points_streamed += 1
+                        writer.write(
+                            chunk(
+                                event_line({"event": "point", "point": point.to_dict()})
+                            )
+                        )
+                    for failure in failures:
+                        writer.write(
+                            chunk(
+                                event_line(
+                                    {"event": "failure", "failure": failure.to_dict()}
+                                )
+                            )
+                        )
+                    await writer.drain()
+                merged.elapsed = time.monotonic() - started
+                writer.write(
+                    chunk(event_line({"event": "done", "trace": merged.to_dict()}))
+                )
+                writer.write(last_chunk())
+                await writer.drain()
+            except asyncio.CancelledError:
+                raise
+            except (ConnectionResetError, BrokenPipeError):
+                raise  # client went away mid-stream; _on_connection handles
+            except Exception as exc:  # noqa: BLE001 - mid-stream failure
+                # The head is already out: a second HTTP response here would
+                # corrupt the chunk framing.  Finish the stream with a
+                # structured error event and terminator instead; the
+                # connection closes either way (return True below).
+                self.stats.errors += 1
+                try:
                     writer.write(
                         chunk(
                             event_line(
-                                {"event": "failure", "failure": failure.to_dict()}
+                                {
+                                    "event": "error",
+                                    **error_payload(
+                                        "ComputeError",
+                                        f"{type(exc).__name__}: {exc}",
+                                    ),
+                                }
                             )
                         )
                     )
-                await writer.drain()
-            merged.elapsed = time.monotonic() - started
-            writer.write(
-                chunk(event_line({"event": "done", "trace": merged.to_dict()}))
-            )
-            writer.write(last_chunk())
-            await writer.drain()
+                    writer.write(last_chunk())
+                    await writer.drain()
+                except (ConnectionResetError, BrokenPipeError, OSError):
+                    pass
         finally:
             self._active -= 1
         return True
@@ -632,6 +734,26 @@ class StudyServer:
             "session": self.session.stats(),
             "budgets": self.config.budgets.to_dict(),
         }
+
+
+def _sweep_point_count(axes: Mapping[str, Any], mode: str) -> int:
+    """Prospective sweep size from the axis lengths alone.
+
+    Grid mode multiplies, zip mode pairs elementwise; either way the count
+    is known before any point spec exists, which is what lets the server
+    budget-check a sweep without materialising it.
+    """
+    lengths = []
+    for path, values in axes.items():
+        if not isinstance(values, list):
+            raise ValueError(f"axis {path!r} must be a JSON array of values")
+        lengths.append(len(values))
+    if mode == "zip":
+        return max(lengths, default=0)
+    count = 1
+    for length in lengths:
+        count *= length
+    return count
 
 
 def _merge_trace(merged: ExecutionTrace, part: ExecutionTrace) -> None:

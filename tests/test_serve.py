@@ -9,8 +9,10 @@ deterministic: requests that must overlap, do.
 
 from __future__ import annotations
 
+import gc
 import http.client
 import json
+import socket
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -18,7 +20,7 @@ from concurrent.futures import ThreadPoolExecutor
 import pytest
 
 from repro.api.backends import get_backend, register_backend
-from repro.api.canonical import spec_digest
+from repro.api.canonical import spec_digest, spec_to_wire
 from repro.api.session import Session
 from repro.api.spec import (
     AnalysisSpec,
@@ -221,6 +223,47 @@ class TestBudgetsAndBackpressure:
             assert statuses.count(200) >= 1
             assert tiny.server.stats.rejected_busy == statuses.count(429)
 
+    def test_combinatorial_sweep_rejected_before_materialization(self, server):
+        """A tiny body describing a 40^4 grid must bounce without building it.
+
+        The budget check runs on the axis lengths alone; materialising
+        2.56M point specs first would pin the event loop for minutes (the
+        original bug: health checks blocked >120s on a 1.3KB request).
+        """
+        axes = {
+            f"analysis.{field}": list(range(40))
+            for field in ("seed", "n_samples", "alpha", "beta")
+        }
+        body = json.dumps({"base": spec_to_wire(SMALL), "axes": axes}).encode()
+        started = time.monotonic()
+        status, payload = raw_request(server, "POST", "/v1/sweep", body=body)
+        elapsed = time.monotonic() - started
+        assert status == 413
+        assert payload["error"]["type"] == "BudgetExceeded"
+        assert payload["error"]["detail"] == {
+            "budget": "max_sweep_points", "limit": 1024, "got": 40**4,
+        }
+        assert elapsed < 5.0  # rejected from axis lengths, not after building
+        # The event loop never stalled: liveness answers immediately.
+        started = time.monotonic()
+        status, payload = raw_request(server, "GET", "/v1/health")
+        assert status == 200 and payload["status"] == "ok"
+        assert time.monotonic() - started < 5.0
+        assert server.server.stats.rejected_budget == 1
+
+    def test_zip_sweep_size_counts_axis_length_not_product(self, server):
+        """Zip-mode pairing: 3 values on 2 axes is 3 points, not 9."""
+        axes = {"analysis.seed": [1, 2, 3], "analysis.n_samples": [100, 150, 200]}
+        body = json.dumps(
+            {"base": spec_to_wire(SMALL), "axes": axes, "mode": "zip"}
+        ).encode()
+        with BackgroundServer(
+            config=ServeConfig(budgets=ServeBudgets(max_sweep_points=2))
+        ) as tiny:
+            status, payload = raw_request(tiny, "POST", "/v1/sweep", body=body)
+        assert status == 413
+        assert payload["error"]["detail"]["got"] == 3
+
     def test_draining_rejects_with_503(self, server, client):
         client.health()  # establish the keep-alive connection first
         server.server._draining = True
@@ -294,8 +337,140 @@ class TestSweepStreaming:
         )
         assert events[0].data["n_points"] == 2
 
+    def test_midstream_failure_ends_stream_with_error_event(self, server, client):
+        """A failure after the head is out must not inject a second response.
+
+        The server finishes the chunked body with a structured ``error``
+        event and the terminator; the client surfaces it as a typed
+        ServerError, and the server keeps serving fresh connections.
+        """
+        calls = {"n": 0}
+        original = server.server._run_batch
+
+        def flaky(tasks, n_jobs, policy):
+            calls["n"] += 1
+            if calls["n"] >= 2:
+                raise RuntimeError("backend exploded mid-stream")
+            return original(tasks, n_jobs, policy)
+
+        server.server._run_batch = flaky
+        sweep = ScenarioSweep(SMALL, {"analysis.seed": [1, 2, 3]})
+        events = []
+        with pytest.raises(ServerError) as excinfo:
+            for event in client.sweep(sweep, chunk=1):
+                events.append(event)
+        assert excinfo.value.error_type == "ComputeError"
+        assert "RuntimeError" in str(excinfo.value)
+        kinds = [e.kind for e in events]
+        assert "start" in kinds and kinds.count("point") == 1
+        assert "done" not in kinds
+        assert server.server.stats.errors == 1
+        # The chunked framing stayed intact and the connection closed; a
+        # fresh connection gets a clean, normal exchange.
+        with Client(server.host, server.port) as follow_up:
+            assert follow_up.health()["status"] == "ok"
+
+
+class TestClientRetry:
+    """The client may only retry when a resubmit cannot double work."""
+
+    @staticmethod
+    def _acceptor(handle):
+        """A fake server: ``handle(conn)`` per accepted connection."""
+        sock = socket.socket()
+        sock.bind(("127.0.0.1", 0))
+        sock.listen(8)
+        sock.settimeout(0.05)
+        stop = threading.Event()
+        accepted = []
+
+        def run():
+            while not stop.is_set():
+                try:
+                    conn, _ = sock.accept()
+                except socket.timeout:
+                    continue
+                accepted.append(conn)
+                handle(conn)
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        port = sock.getsockname()[1]
+
+        def shutdown():
+            stop.set()
+            thread.join(timeout=5)
+            sock.close()
+            for conn in accepted:
+                conn.close()
+
+        return port, accepted, shutdown
+
+    def test_post_is_not_retried_when_fresh_connection_dies(self):
+        """A POST dying mid-exchange on a fresh socket must surface, not
+        silently resubmit (the server may already be computing it)."""
+
+        def slam(conn):
+            conn.recv(65536)
+            conn.close()
+
+        port, accepted, shutdown = self._acceptor(slam)
+        try:
+            with Client("127.0.0.1", port, timeout=5) as client:
+                with pytest.raises((http.client.HTTPException, OSError)):
+                    client.study(SMALL)
+            time.sleep(0.2)  # would-be retry has time to reconnect
+            assert len(accepted) == 1  # the spec was submitted exactly once
+        finally:
+            shutdown()
+
+    def test_stale_keepalive_get_is_retried_transparently(self):
+        """A keep-alive socket the server closed after a completed exchange
+        is the one safe retry case: reconnect and repeat."""
+        response = (
+            b"HTTP/1.1 200 OK\r\nContent-Type: application/json\r\n"
+            b"Content-Length: 16\r\nConnection: keep-alive\r\n\r\n"
+            b'{"protocol": 1}\n'
+        )
+
+        def answer_once_then_hang_up(conn):
+            conn.recv(65536)
+            conn.sendall(response)
+            conn.close()  # lies about keep-alive: next reuse hits a dead socket
+
+        port, accepted, shutdown = self._acceptor(answer_once_then_hang_up)
+        try:
+            with Client("127.0.0.1", port, timeout=5) as client:
+                assert client.stats()["protocol"] == 1
+                # The reused connection is stale; the GET retries on a fresh
+                # socket and succeeds without surfacing an error.
+                assert client.stats()["protocol"] == 1
+            assert len(accepted) >= 2
+        finally:
+            shutdown()
+
 
 class TestGracefulDrain:
+    def test_shutdown_with_idle_keepalive_connection_is_quiet(self):
+        """Cancelling idle connection handlers at shutdown must not leave
+        unretrieved CancelledErrors (logged as spurious tracebacks)."""
+        bg = BackgroundServer(config=ServeConfig()).start()
+        captured = []
+        loop = bg._loop
+        loop.call_soon_threadsafe(
+            loop.set_exception_handler,
+            lambda _loop, context: captured.append(context),
+        )
+        client = Client(bg.host, bg.port)
+        try:
+            assert client.health()["status"] == "ok"
+            # The keep-alive connection stays open and idle through shutdown.
+            bg.stop(drain=True, timeout=30)
+            gc.collect()  # unretrieved task exceptions surface at GC time
+            assert captured == []
+        finally:
+            client.close()
+
     def test_shutdown_drains_in_flight_compute(self):
         bg = BackgroundServer(config=ServeConfig()).start()
         results = {}
