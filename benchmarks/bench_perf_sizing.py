@@ -1,8 +1,10 @@
 """Micro-benchmark: optimizer hot paths through the Design API.
 
-Times the statistical sizers on ISCAS stages and the Design API's cached
-design flow (balanced baseline reuse across optimizers, per-(stage, sizer)
-area--delay curve reuse, memoized design reports), and writes the timings to
+Times the statistical sizers on ISCAS stages, the incremental-STA sizer
+inner loop against full per-move recomputation on a 20k-gate generated
+block, and the Design API's cached design flow (balanced baseline reuse
+across optimizers, per-(stage, sizer) area--delay curve reuse, memoized
+design reports), and writes the timings to
 ``benchmarks/results/perf_sizing.json`` so optimizer hot-path numbers join
 the performance trajectory started by ``bench_perf_timing.py``.
 
@@ -20,12 +22,24 @@ from __future__ import annotations
 import json
 import pathlib
 
+import numpy as np
+
 from bench_utils import timed_seconds
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 STAGE_YIELD = 0.95
 SPEEDUP = 0.85
+
+#: The large generated block for the incremental-STA sizer floor.
+LARGE_GATES = 20_000
+LARGE_DEPTH = 48
+#: Sizer options sized so the full-recompute baseline stays affordable in
+#: CI while still iterating enough for the per-move cost to dominate.
+LARGE_SIZER_RUNS = (
+    ("lagrangian", {"max_outer": 40, "sweeps_per_outer": 1, "sigma_refresh": 1000}),
+    ("greedy", {"max_moves": 150, "sigma_refresh": 1000}),
+)
 
 
 def run_benchmark() -> dict:
@@ -74,6 +88,63 @@ def run_benchmark() -> dict:
         report["sizers"][sizer_name] = stages
 
     # ------------------------------------------------------------------
+    # Incremental STA floor: both sizers on a 20k-gate generated block,
+    # incremental=True vs incremental=False, identical results required.
+    # ------------------------------------------------------------------
+    from repro.circuit.generators import random_logic_block
+
+    large = random_logic_block(
+        "large",
+        n_gates=LARGE_GATES,
+        depth=LARGE_DEPTH,
+        n_inputs=64,
+        n_outputs=32,
+        seed=7,
+    )
+    large.timing_schedule()  # compile once; shared by every run below
+    large_stage = PipelineStage("large", large)
+    report["large_block"] = {
+        "n_gates": LARGE_GATES,
+        "depth": LARGE_DEPTH,
+        "sizers": {},
+    }
+    for sizer_name, options in LARGE_SIZER_RUNS:
+        reference_sizer = make_sizer(sizer_name, technology, variation, **options)
+        target = SPEEDUP * reference_sizer.stage_distribution(
+            large_stage
+        ).delay_at_yield(STAGE_YIELD)
+        runs = {}
+        results = {}
+        for mode in ("incremental", "full"):
+            sizer = make_sizer(
+                sizer_name,
+                technology,
+                variation,
+                incremental=(mode == "incremental"),
+                **options,
+            )
+            seconds, result = timed_seconds(
+                sizer.size_stage, large_stage, target, STAGE_YIELD, apply=False
+            )
+            results[mode] = result
+            runs[mode] = {
+                "seconds": seconds,
+                "iterations": result.iterations,
+                "gates_per_second": LARGE_GATES * result.iterations / max(seconds, 1e-9),
+            }
+        # The incremental path must be a pure optimisation: bit-identical
+        # sizes, same trajectory length, same area.
+        assert np.array_equal(
+            results["incremental"].sizes, results["full"].sizes
+        ), sizer_name
+        assert results["incremental"].iterations == results["full"].iterations
+        assert results["incremental"].area == results["full"].area
+        runs["speedup"] = runs["full"]["seconds"] / max(
+            runs["incremental"]["seconds"], 1e-9
+        )
+        report["large_block"]["sizers"][sizer_name] = runs
+
+    # ------------------------------------------------------------------
     # Design-API hot path: session caching across optimizers and repeats.
     # ------------------------------------------------------------------
     session = Session()
@@ -118,7 +189,14 @@ def run_benchmark() -> dict:
 
 
 def test_perf_sizing():
-    """Caching floors: memoized reports are effectively free, caches hit."""
+    """Caching and incremental-STA floors.
+
+    Memoized reports are effectively free, caches hit, and on the 20k-gate
+    block both sizers' inner loops must run at least 3x faster through the
+    incremental engine than through per-move full recomputation (the
+    results themselves are asserted bit-identical inside the benchmark;
+    the large block is a speed probe, so no met_target floor applies).
+    """
     report = run_benchmark()
     api = report["design_api"]
     assert api["cached_report_speedup"] >= 50.0, api
@@ -128,6 +206,8 @@ def test_perf_sizing():
     for sizer_name, stages in report["sizers"].items():
         for stage_name, stats in stages.items():
             assert stats["met_target"], (sizer_name, stage_name, stats)
+    for sizer_name, runs in report["large_block"]["sizers"].items():
+        assert runs["speedup"] >= 3.0, (sizer_name, runs)
 
 
 if __name__ == "__main__":

@@ -50,12 +50,12 @@ def timed_seconds(fn, *args, **kwargs):
     return time.perf_counter() - start, result
 
 
-def best_of_seconds(repeats, fn, *args):
+def best_of_seconds(repeats, fn, *args, **kwargs):
     """Best wall-clock of ``repeats`` calls (the first pays cache compile)."""
     best = float("inf")
     result = None
     for _ in range(repeats):
-        seconds, result = timed_seconds(fn, *args)
+        seconds, result = timed_seconds(fn, *args, **kwargs)
         best = min(best, seconds)
     return best, result
 

@@ -1,0 +1,698 @@
+"""Incremental static timing: dirty-cone propagation over the compiled schedule.
+
+A single-gate resize perturbs only its fanout cone, yet the sizers' inner
+loops historically re-propagated the entire DAG (and rebuilt every cell
+coefficient) after every move.  This module provides the incremental tier:
+
+* :class:`IncrementalTimer` -- maintains arrival (and lazily, required) time
+  state on a netlist's compiled CSR :class:`~repro.circuit.schedule.TimingSchedule`.
+  After a delay change, only the dirty fanout frontier is re-propagated,
+  level by level, with early cutoff when a recomputed arrival is *exactly*
+  equal to the stored one.  Because the max fold is exact (no epsilon), the
+  maintained arrivals are bit-identical to a full
+  :func:`~repro.timing.sta.arrival_times` pass at every point, and the
+  maintained critical path / required times match
+  :func:`~repro.timing.sta.critical_path` / :func:`~repro.timing.sta.required_times`
+  exactly.
+* :class:`SizingState` -- the sizer-facing layer: caches the cell
+  coefficients once and incrementally maintains sizes -> pin caps -> loads ->
+  delays -> arrivals across ``resize``/``set_sizes`` calls, each stage
+  replaying the reference formulas (`Netlist.load_capacitances`,
+  `GateDelayModel.nominal_delays`) element for element so the state is bit
+  identical to a from-scratch evaluation at the same sizes.
+
+Exactness of the subset load recomputation deserves a note: the reference
+``np.bincount`` accumulates each gate's load over its fanin occurrences in
+increasing edge order, which (by construction of ``Netlist._rebuild``) is
+exactly the fanout-CSR order of the driving gate; a subset ``np.bincount``
+over the expanded fanout CSR replays the same addend sequence in the same
+sequential order, so the partial sums -- and therefore the floats -- agree
+bit for bit.  (``np.add.reduceat`` would not: it sums pairwise.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuit.netlist import Netlist
+from repro.circuit.schedule import expand_csr_rows
+from repro.timing.sta import _propagate_block
+
+# Dirty level-buckets at or below this size take the scalar per-gate path;
+# larger buckets batch the fanin fold with one gather + reduceat.
+_SCALAR_BUCKET = 8
+#: A propagation pass with at least 1/_DENSE_DIRTY_FRACTION of the gates
+#: dirty skips the frontier machinery and reruns the full vectorized kernel
+#: (same kernel, same bits, less bookkeeping).
+_DENSE_DIRTY_FRACTION = 4
+
+
+def _segment_starts(counts: np.ndarray) -> np.ndarray:
+    """Exclusive prefix sums of ``counts`` (reduceat segment offsets)."""
+    seg = np.zeros(counts.shape[0], dtype=np.int64)
+    np.cumsum(counts[:-1], out=seg[1:])
+    return seg
+
+
+class IncrementalTimer:
+    """Incrementally maintained arrival/required times for one netlist.
+
+    Parameters
+    ----------
+    netlist:
+        Netlist to track.  Its compiled schedule is captured at construction;
+        structural edits (add/remove gates) require a new timer.
+    gate_delays:
+        Initial per-gate delay vector in topological order; copied.
+
+    Notes
+    -----
+    The update contract is *epsilon-exact*: propagation past a gate stops
+    only when its recomputed arrival is bit-equal to the stored one, so
+    :meth:`arrivals`, :meth:`critical_path` and :meth:`required` always
+    return exactly what the full kernels would produce for the current
+    delays.  ``invalidate`` may be called with any gate ids (no-op
+    invalidations are safe: the recomputed arrival equals the stored one and
+    the frontier dies immediately).
+    """
+
+    def __init__(self, netlist: Netlist, gate_delays: np.ndarray) -> None:
+        self.netlist = netlist
+        self.schedule = netlist.timing_schedule()
+        n_gates = self.schedule.n_gates
+        delays = np.array(gate_delays, dtype=float)
+        if delays.shape != (n_gates,):
+            raise ValueError(
+                f"gate_delays must have shape ({n_gates},), got {delays.shape}"
+            )
+        self._delays = delays
+        self._arrivals = np.empty(n_gates)
+        # parents[g]: the fanin whose arrival realises g's max (first maximum
+        # in pin order, matching critical_path's np.argmax tie-break); -1 for
+        # source gates.  Maintained alongside arrivals so the critical path
+        # is an O(depth) walk instead of a full backtrace.
+        self._parents = np.full(n_gates, -1, dtype=np.int64)
+        self._dirty = np.zeros(n_gates, dtype=bool)
+        self._queued = np.zeros(n_gates, dtype=bool)
+        self._has_dirty = False
+        # Set by the dense propagation path instead of rebuilding parents
+        # eagerly; cleared by the next critical-path query.
+        self._parents_stale = False
+        out_mask = netlist.output_mask()
+        if not out_mask.any():
+            out_mask = np.ones(n_gates, dtype=bool)
+        self._output_positions = np.nonzero(out_mask)[0]
+        self._order = netlist.topological_order()
+        # Required-time state, built lazily on the first required() call.
+        req_mask = netlist.output_mask()
+        if not req_mask.any():
+            req_mask = self.schedule.fanout_counts == 0
+        self._required_mask = req_mask
+        self._required: np.ndarray | None = None
+        # Raw backward recurrence values: gates whose forward cone never
+        # reaches a marked output stay at +inf here (the reference flattens
+        # them to the target only at the very end, NOT through the min
+        # recurrence -- replicating that is what keeps the incremental pass
+        # bit-identical).  Reachability is structural, so delay changes never
+        # flip an entry between finite and inf.
+        self._required_raw: np.ndarray | None = None
+        self._required_target: float | None = None
+        self._required_dirty = np.zeros(n_gates, dtype=bool)
+        self._req_queued = np.zeros(n_gates, dtype=bool)
+        self._has_required_dirty = False
+        # Instrumentation: how much work the incremental tier actually did.
+        self.full_propagations = 0
+        self.incremental_propagations = 0
+        self.gates_recomputed = 0
+        self.gates_changed = 0
+        if n_gates:
+            _propagate_block(self.schedule, self._delays, self._arrivals)
+            self._rebuild_parents(np.arange(n_gates, dtype=np.int64))
+        self.full_propagations += 1
+
+    # ------------------------------------------------------------------
+    # Delay updates
+    # ------------------------------------------------------------------
+    @property
+    def delays(self) -> np.ndarray:
+        """The current per-gate delay vector (treat as read-only)."""
+        return self._delays
+
+    def invalidate(self, gate_ids) -> None:
+        """Mark gates whose delays may have changed for re-propagation.
+
+        Safe to over-invalidate: gates whose recomputed arrival is unchanged
+        cut the frontier off immediately.
+        """
+        ids = np.atleast_1d(np.asarray(gate_ids, dtype=np.int64))
+        if ids.size == 0:
+            return
+        n_gates = self.schedule.n_gates
+        if ids.min() < 0 or ids.max() >= n_gates:
+            raise IndexError(
+                f"gate ids must be in [0, {n_gates}), got range "
+                f"[{ids.min()}, {ids.max()}]"
+            )
+        self._dirty[ids] = True
+        self._has_dirty = True
+
+    def update_delays(self, gate_ids, values) -> None:
+        """Set the delays of ``gate_ids`` to ``values`` and mark the changes."""
+        ids = np.atleast_1d(np.asarray(gate_ids, dtype=np.int64))
+        vals = np.atleast_1d(np.asarray(values, dtype=float))
+        if ids.shape != vals.shape:
+            raise ValueError(
+                f"gate_ids shape {ids.shape} does not match values {vals.shape}"
+            )
+        if ids.size == 0:
+            return
+        changed = vals != self._delays[ids]
+        if not changed.any():
+            return
+        changed_ids = ids[changed]
+        self._delays[changed_ids] = vals[changed]
+        self._dirty[changed_ids] = True
+        self._has_dirty = True
+        self._mark_required_stale(changed_ids)
+
+    def set_delays(self, gate_delays: np.ndarray) -> None:
+        """Replace the whole delay vector, diffing against the current one."""
+        new = np.asarray(gate_delays, dtype=float)
+        if new.shape != self._delays.shape:
+            raise ValueError(
+                f"gate_delays must have shape {self._delays.shape}, got {new.shape}"
+            )
+        changed = np.nonzero(new != self._delays)[0]
+        if changed.size == 0:
+            return
+        self._delays[changed] = new[changed]
+        self._dirty[changed] = True
+        self._has_dirty = True
+        self._mark_required_stale(changed)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def arrivals(self) -> np.ndarray:
+        """Current arrival times (propagating any pending dirt first).
+
+        Returns the internal array; treat as read-only.
+        """
+        if self._has_dirty:
+            self._propagate()
+        return self._arrivals
+
+    def worst_arrival(self) -> float:
+        """Max arrival over the primary outputs (all gates when none marked)."""
+        arrivals = self.arrivals()
+        return float(arrivals[self._output_positions].max())
+
+    def critical_path_positions(self) -> list[int]:
+        """Topological positions along the longest path, source first."""
+        arrivals = self.arrivals()
+        if self._parents_stale:
+            self._rebuild_parents(np.arange(self.schedule.n_gates, dtype=np.int64))
+            self._parents_stale = False
+        outs = self._output_positions
+        current = int(outs[np.argmax(arrivals[outs])])
+        path = [current]
+        parents = self._parents
+        while parents[current] >= 0:
+            current = int(parents[current])
+            path.append(current)
+        path.reverse()
+        return path
+
+    def critical_path(self) -> list[str]:
+        """Gate names along the longest path, matching :func:`~repro.timing.sta.critical_path`."""
+        return [self._order[pos] for pos in self.critical_path_positions()]
+
+    def required(self, target: float) -> np.ndarray:
+        """Required times for ``target``, matching :func:`~repro.timing.sta.required_times`.
+
+        The first call (and any call with a new target) performs a full
+        backward pass; subsequent calls with the same target only re-tighten
+        the fanin cones of gates whose delays changed.  Returns the internal
+        array; treat as read-only.
+        """
+        target = float(target)
+        if self._required is None or target != self._required_target:
+            self._full_required(target)
+            if self._has_required_dirty:
+                self._required_dirty[:] = False
+                self._has_required_dirty = False
+        elif self._has_required_dirty:
+            self._propagate_required()
+        return self._required
+
+    def _full_required(self, target: float) -> None:
+        """Full backward pass, replaying :func:`~repro.timing.sta.required_times`.
+
+        Also captures the raw (inf-preserving) recurrence values the
+        incremental re-tightening operates on.
+        """
+        schedule = self.schedule
+        delays = self._delays
+        raw = np.full(schedule.n_gates, np.inf)
+        raw[self._required_mask] = target
+        for level in range(schedule.n_levels - 1, -1, -1):
+            gates = schedule.rev_level_gates[level]
+            if gates.shape[0] == 0:
+                continue
+            candidates = (
+                raw[schedule.rev_level_edges[level]]
+                - delays[schedule.rev_level_edges[level]]
+            )
+            tightest = np.minimum.reduceat(candidates, schedule.rev_level_seg[level])
+            raw[gates] = np.minimum(raw[gates], tightest)
+        self._required_raw = raw
+        required = raw.copy()
+        required[np.isinf(required)] = target
+        self._required = required
+        self._required_target = target
+
+    # ------------------------------------------------------------------
+    # Forward propagation
+    # ------------------------------------------------------------------
+    def _rebuild_parents(self, gates: np.ndarray) -> None:
+        """Recompute ``parents`` for ``gates`` from the current arrivals.
+
+        Vectorized first-maximum-in-pin-order selection: matches the
+        ``np.argmax`` tie-break of the reference critical-path walk.
+        """
+        schedule = self.schedule
+        counts = (
+            schedule.fanin_ptr[gates + 1] - schedule.fanin_ptr[gates]
+        ).astype(np.int64)
+        with_fanins = counts > 0
+        if not with_fanins.any():
+            self._parents[gates] = -1
+            return
+        self._parents[gates[~with_fanins]] = -1
+        gates = gates[with_fanins]
+        counts = counts[with_fanins]
+        flat, _ = expand_csr_rows(schedule.fanin_ptr, schedule.fanin_idx, gates)
+        seg = _segment_starts(counts)
+        vals = self._arrivals[flat]
+        seg_max = np.maximum.reduceat(vals, seg)
+        n_edges = flat.shape[0]
+        candidates = np.where(
+            vals == np.repeat(seg_max, counts), np.arange(n_edges), n_edges
+        )
+        first = np.minimum.reduceat(candidates, seg)
+        self._parents[gates] = flat[first]
+
+    def _propagate(self) -> None:
+        """Re-propagate the dirty frontier level by level with exact cutoff."""
+        schedule = self.schedule
+        levels = schedule.levels
+        arrivals = self._arrivals
+        delays = self._delays
+        parents = self._parents
+        queued = self._queued
+        fanin_ptr = schedule.fanin_ptr
+        fanin_idx = schedule.fanin_idx
+        fanout_ptr = schedule.fanout_ptr
+        fanout_idx = schedule.fanout_idx
+
+        dirty = np.nonzero(self._dirty)[0]
+        self._dirty[:] = False
+        self._has_dirty = False
+        if dirty.size == 0:
+            return
+        if dirty.size * _DENSE_DIRTY_FRACTION >= schedule.n_gates:
+            # Mostly-dirty passes (e.g. a sizer sweep that touched every
+            # gate) are faster through the plain full kernel than through
+            # the frontier machinery -- and it is the same kernel, so the
+            # result is identical either way.  Parents are rebuilt lazily
+            # on the next critical-path query: sizers that only watch
+            # arrivals/required (the Lagrangian loop) never pay for them.
+            old = arrivals.copy()
+            _propagate_block(schedule, delays, arrivals)
+            self._parents_stale = True
+            self.full_propagations += 1
+            self.gates_recomputed += schedule.n_gates
+            self.gates_changed += int(np.count_nonzero(arrivals != old))
+            return
+        self.incremental_propagations += 1
+        # Masked level sweep: the queue is just a boolean array scanned
+        # against the static per-level gate lists.  Levels with no queued
+        # gates cost one small gather + any(); frontier pushes are plain
+        # boolean scatters (fanouts live at strictly higher levels, so a
+        # push can never miss the sweep).  No per-gate Python bookkeeping.
+        # If the frontier balloons past the dense budget mid-sweep, bail
+        # out to the full kernel: it recomputes the partially-updated
+        # arrivals to the same bits and costs less than expanding the
+        # rest of the cone level by level.
+        snapshot = arrivals.copy()
+        budget = schedule.n_gates // _DENSE_DIRTY_FRACTION
+        queued[dirty] = True
+        recomputed = 0
+        changed_total = 0
+        for level in range(int(levels[dirty].min()), schedule.n_levels):
+            level_gates = schedule.level_gates[level]
+            selected = queued[level_gates]
+            if not selected.any():
+                continue
+            gates = level_gates[selected]
+            queued[gates] = False
+            recomputed += gates.shape[0]
+            if recomputed > budget:
+                queued[:] = False
+                _propagate_block(schedule, delays, arrivals)
+                self._parents_stale = True
+                self.full_propagations += 1
+                self.gates_recomputed += schedule.n_gates
+                self.gates_changed += int(np.count_nonzero(arrivals != snapshot))
+                return
+            if gates.shape[0] <= _SCALAR_BUCKET:
+                for gate in gates.tolist():
+                    lo = fanin_ptr[gate]
+                    hi = fanin_ptr[gate + 1]
+                    if lo == hi:
+                        new_arrival = delays[gate]
+                        parents[gate] = -1
+                    else:
+                        fanins = fanin_idx[lo:hi]
+                        vals = arrivals[fanins]
+                        best = int(vals.argmax())
+                        new_arrival = vals[best] + delays[gate]
+                        parents[gate] = fanins[best]
+                    if new_arrival == arrivals[gate]:
+                        continue
+                    arrivals[gate] = new_arrival
+                    changed_total += 1
+                    queued[fanout_idx[fanout_ptr[gate] : fanout_ptr[gate + 1]]] = True
+                continue
+            old = arrivals[gates]
+            if level == 0:
+                new_arrivals = delays[gates]
+                parents[gates] = -1
+            else:
+                flat, _ = expand_csr_rows(fanin_ptr, fanin_idx, gates)
+                counts = (fanin_ptr[gates + 1] - fanin_ptr[gates]).astype(np.int64)
+                seg = _segment_starts(counts)
+                vals = arrivals[flat]
+                seg_max = np.maximum.reduceat(vals, seg)
+                new_arrivals = seg_max + delays[gates]
+                # Parents are NOT maintained on the batch path (the argmax
+                # selection costs as much as the fold itself); they are
+                # rebuilt lazily on the next critical-path query.  Sizers
+                # that only watch arrivals/required never pay for them.
+                self._parents_stale = True
+            changed = new_arrivals != old
+            if not changed.any():
+                continue
+            changed_gates = gates[changed]
+            arrivals[changed_gates] = new_arrivals[changed]
+            changed_total += changed_gates.shape[0]
+            flat_out, _ = expand_csr_rows(fanout_ptr, fanout_idx, changed_gates)
+            if flat_out.shape[0]:
+                queued[flat_out] = True
+        self.gates_recomputed += recomputed
+        self.gates_changed += changed_total
+
+    # ------------------------------------------------------------------
+    # Backward (required-time) propagation
+    # ------------------------------------------------------------------
+    def _mark_required_stale(self, changed_delay_gates: np.ndarray) -> None:
+        """Dirty the fanins of delay-changed gates for the backward pass.
+
+        ``required(g) = min over fanouts h of required(h) - delay(h)``: a
+        delay change at ``h`` perturbs the required times of ``h``'s fanins
+        (not ``h`` itself); arrival-driven required changes then ripple
+        further down inside :meth:`_propagate_required`.
+        """
+        if self._required is None or changed_delay_gates.size == 0:
+            return
+        flat, _ = expand_csr_rows(
+            self.schedule.fanin_ptr, self.schedule.fanin_idx, changed_delay_gates
+        )
+        if flat.shape[0]:
+            self._required_dirty[flat] = True
+            self._has_required_dirty = True
+
+    def _propagate_required(self) -> None:
+        """Re-tighten required times over the dirty fanin cones, deepest first.
+
+        Operates on the raw (inf-preserving) recurrence values; gates whose
+        cone never reaches a marked output keep raw ``+inf`` (their
+        candidates stay ``inf - delay = inf``), so they cut the frontier off
+        exactly as in the full pass, and the public array keeps their
+        flattened target value.
+        """
+        schedule = self.schedule
+        levels = schedule.levels
+        raw = self._required_raw
+        required = self._required
+        delays = self._delays
+        target = self._required_target
+        mask = self._required_mask
+        queued = self._req_queued
+        fanin_ptr = schedule.fanin_ptr
+        fanin_idx = schedule.fanin_idx
+        fanout_ptr = schedule.fanout_ptr
+        fanout_idx = schedule.fanout_idx
+
+        dirty = np.nonzero(self._required_dirty)[0]
+        self._required_dirty[:] = False
+        self._has_required_dirty = False
+        if dirty.size == 0:
+            return
+        if dirty.size * _DENSE_DIRTY_FRACTION >= schedule.n_gates:
+            self._full_required(target)
+            return
+        # Masked level sweep, mirror-image of the forward pass: levels
+        # descend, frontier pushes go to fanins (strictly lower levels).
+        # Every dirtied gate drives at least one fanout (only fanins of
+        # other gates are ever marked), so the min over fanouts is total.
+        # Like the forward sweep, a frontier that balloons past the dense
+        # budget bails out to the full backward pass (which rebuilds the
+        # raw/flattened arrays from scratch, discarding partial updates).
+        budget = schedule.n_gates // _DENSE_DIRTY_FRACTION
+        recomputed = 0
+        queued[dirty] = True
+        for level in range(int(levels[dirty].max()), -1, -1):
+            level_gates = schedule.level_gates[level]
+            selected = queued[level_gates]
+            if not selected.any():
+                continue
+            gates = level_gates[selected]
+            queued[gates] = False
+            recomputed += gates.shape[0]
+            if recomputed > budget:
+                queued[:] = False
+                self._full_required(target)
+                return
+            if gates.shape[0] <= _SCALAR_BUCKET:
+                for gate in gates.tolist():
+                    fanouts = fanout_idx[fanout_ptr[gate] : fanout_ptr[gate + 1]]
+                    tightest = (raw[fanouts] - delays[fanouts]).min()
+                    if mask[gate]:
+                        tightest = np.minimum(target, tightest)
+                    if tightest == raw[gate]:
+                        continue
+                    raw[gate] = tightest
+                    required[gate] = tightest
+                    queued[fanin_idx[fanin_ptr[gate] : fanin_ptr[gate + 1]]] = True
+                continue
+            old = raw[gates]
+            flat, _ = expand_csr_rows(fanout_ptr, fanout_idx, gates)
+            counts = (fanout_ptr[gates + 1] - fanout_ptr[gates]).astype(np.int64)
+            seg = _segment_starts(counts)
+            tightest = np.minimum.reduceat(raw[flat] - delays[flat], seg)
+            masked = mask[gates]
+            if masked.any():
+                tightest[masked] = np.minimum(target, tightest[masked])
+            changed = tightest != old
+            if not changed.any():
+                continue
+            changed_gates = gates[changed]
+            raw[changed_gates] = tightest[changed]
+            required[changed_gates] = tightest[changed]
+            flat_in, _ = expand_csr_rows(fanin_ptr, fanin_idx, changed_gates)
+            if flat_in.shape[0]:
+                queued[flat_in] = True
+
+
+class SizingState:
+    """Incrementally maintained sizes -> loads -> delays -> arrivals.
+
+    The sizer-facing layer over :class:`IncrementalTimer`: cell coefficients
+    are computed once at construction, and every :meth:`resize` /
+    :meth:`set_sizes` recomputes only the perturbed loads (the resized
+    gate's fanins) and delays (those fanins plus the gate itself), feeding
+    the exact diff into the timer.  After any update sequence ``loads``,
+    ``delays`` and the timer's arrivals are bit-identical to
+    ``Netlist.load_capacitances`` / ``GateDelayModel.nominal_delays`` /
+    ``sta.arrival_times`` evaluated from scratch at the same sizes.
+    """
+
+    # set_sizes falls back to a full (but still coefficient-cached) local
+    # recompute once at least 1/_DENSE_FRACTION of the gates changed.
+    _DENSE_FRACTION = 4
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        technology,
+        sizes: np.ndarray | None = None,
+    ) -> None:
+        self.netlist = netlist
+        self.technology = technology
+        self.schedule = netlist.timing_schedule()
+        n_gates = self.schedule.n_gates
+        coefficients = netlist.cell_coefficients()
+        self._pin_cap_unit = coefficients["logical_effort"] * technology.c_unit
+        self._parasitic_unit = coefficients["parasitic_delay"] * technology.c_par_unit
+        self._area_unit = coefficients["area_factor"] * technology.area_unit
+        self._r_unit = float(technology.r_unit)
+        self._is_output = netlist.output_mask()
+        self._dangling = (self.schedule.fanout_counts == 0) & ~self._is_output
+        self._default_load = float(netlist.default_output_load)
+        self.sizes = (
+            np.array(sizes, dtype=float) if sizes is not None else netlist.sizes()
+        )
+        if self.sizes.shape != (n_gates,):
+            raise ValueError(
+                f"sizes must have shape ({n_gates},), got {self.sizes.shape}"
+            )
+        self._pin_caps = self._pin_cap_unit * self.sizes
+        self.loads = self._full_loads()
+        self.timer = IncrementalTimer(netlist, self._full_delays())
+
+    # ------------------------------------------------------------------
+    # Full (coefficient-cached) recomputation
+    # ------------------------------------------------------------------
+    def _full_loads(self) -> np.ndarray:
+        """All gate loads from the cached pin caps (== ``load_capacitances``)."""
+        schedule = self.schedule
+        loads = np.bincount(
+            schedule.fanin_idx,
+            weights=self._pin_caps[schedule.edge_owner],
+            minlength=schedule.n_gates,
+        ).astype(float)
+        loads[self._is_output] += self._default_load
+        loads[self._dangling] += self._default_load
+        return loads
+
+    def _full_delays(self) -> np.ndarray:
+        """All gate delays from cached coefficients (== ``nominal_delays``)."""
+        return (self._r_unit / self.sizes) * (
+            self._parasitic_unit * self.sizes + self.loads
+        )
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def resize(self, position: int, new_size: float) -> None:
+        """Set one gate's size, updating loads, delays and arrivals.
+
+        Only the gate's fanins see a load change (the gate's own load
+        depends on its *fanouts'* sizes), so the perturbed delay set is the
+        fanins plus the gate itself.
+        """
+        position = int(position)
+        value = float(new_size)
+        if value <= 0.0:
+            raise ValueError(f"gate sizes must be positive, got {value}")
+        if value == self.sizes[position]:
+            return
+        self.sizes[position] = value
+        self._pin_caps[position] = self._pin_cap_unit[position] * value
+        sources = self.schedule.fanins_of(position).astype(np.int64)
+        if sources.shape[0]:
+            self._recompute_loads(sources)
+            affected = np.append(sources, position)
+        else:
+            affected = np.array([position], dtype=np.int64)
+        self._recompute_delays(affected)
+
+    def set_sizes(self, new_sizes: np.ndarray) -> None:
+        """Replace the whole size vector, diffing against the current one."""
+        new = np.asarray(new_sizes, dtype=float)
+        if new.shape != self.sizes.shape:
+            raise ValueError(
+                f"sizes must have shape {self.sizes.shape}, got {new.shape}"
+            )
+        if (new <= 0.0).any():
+            raise ValueError("gate sizes must be positive")
+        changed = np.nonzero(new != self.sizes)[0]
+        if changed.size == 0:
+            return
+        self.sizes[changed] = new[changed]
+        self._pin_caps[changed] = self._pin_cap_unit[changed] * new[changed]
+        if changed.size * self._DENSE_FRACTION >= self.schedule.n_gates:
+            self.loads = self._full_loads()
+            self.timer.set_delays(self._full_delays())
+            return
+        flat, _ = expand_csr_rows(
+            self.schedule.fanin_ptr, self.schedule.fanin_idx, changed
+        )
+        if flat.shape[0]:
+            sources = np.unique(flat.astype(np.int64))
+            self._recompute_loads(sources)
+            affected = np.union1d(sources, changed)
+        else:
+            affected = changed
+        self._recompute_delays(affected)
+
+    def _recompute_loads(self, sources: np.ndarray) -> None:
+        """Recompute the loads of ``sources`` (each must drive >= 1 fanout).
+
+        Replays the reference bincount's addend order over the fanout CSR,
+        so the recomputed floats match a from-scratch ``load_capacitances``.
+        """
+        schedule = self.schedule
+        flat, _ = expand_csr_rows(schedule.fanout_ptr, schedule.fanout_idx, sources)
+        counts = (
+            schedule.fanout_ptr[sources + 1] - schedule.fanout_ptr[sources]
+        ).astype(np.int64)
+        # bincount accumulates sequentially in array order -- the same
+        # addend order as the reference's full bincount.  (reduceat sums
+        # pairwise, which can differ in the last bit.)
+        owner_local = np.repeat(np.arange(sources.shape[0]), counts)
+        sums = np.bincount(
+            owner_local, weights=self._pin_caps[flat], minlength=sources.shape[0]
+        )
+        driven_outputs = self._is_output[sources]
+        if driven_outputs.any():
+            sums[driven_outputs] += self._default_load
+        self.loads[sources] = sums
+
+    def _recompute_delays(self, affected: np.ndarray) -> None:
+        """Recompute the delays of ``affected`` gates and update the timer."""
+        local_sizes = self.sizes[affected]
+        new_delays = (self._r_unit / local_sizes) * (
+            self._parasitic_unit[affected] * local_sizes + self.loads[affected]
+        )
+        self.timer.update_delays(affected, new_delays)
+
+    # ------------------------------------------------------------------
+    # Queries (delegating to the timer)
+    # ------------------------------------------------------------------
+    @property
+    def delays(self) -> np.ndarray:
+        """Current per-gate delays (treat as read-only)."""
+        return self.timer.delays
+
+    def arrivals(self) -> np.ndarray:
+        """Current arrival times (treat as read-only)."""
+        return self.timer.arrivals()
+
+    def worst_arrival(self) -> float:
+        """Max arrival over the primary outputs."""
+        return self.timer.worst_arrival()
+
+    def critical_path_positions(self) -> list[int]:
+        """Topological positions along the longest path, source first."""
+        return self.timer.critical_path_positions()
+
+    def required(self, target: float) -> np.ndarray:
+        """Required times for ``target`` (treat as read-only)."""
+        return self.timer.required(target)
+
+    def total_area(self, sizes: np.ndarray | None = None) -> float:
+        """Total area from the cached coefficients (== ``Netlist.total_area``)."""
+        values = self.sizes if sizes is None else np.asarray(sizes, dtype=float)
+        return float((self._area_unit * values).sum())

@@ -41,6 +41,7 @@ from repro.process.spatial import SpatialCorrelationModel
 from repro.process.technology import Technology
 from repro.process.variation import VariationModel
 from repro.timing.delay_model import GateDelayModel
+from repro.timing.kernels import KernelConfig, resolve_config, shared_executor, split_rows
 
 # Relative threshold below which the variance of (A - B) is treated as zero
 # and the max degenerates to the larger-mean form (unit independent).
@@ -209,6 +210,11 @@ class StatisticalTimingAnalyzer:
     variance_coverage:
         Fraction of the spatial field's variance the retained principal
         components must explain (1.0 keeps all of them).
+    kernel:
+        Kernel-tier selection for :meth:`arrival_components`: a
+        :class:`~repro.timing.kernels.KernelConfig`, a tier name or ``None``
+        for the process default.  Gates within a level are independent, so
+        the threaded tier chunks wide levels across the shared timing pool.
     """
 
     def __init__(
@@ -217,6 +223,7 @@ class StatisticalTimingAnalyzer:
         variation: VariationModel,
         grid_size: int = 8,
         variance_coverage: float = 0.995,
+        kernel: KernelConfig | str | None = None,
     ) -> None:
         if not 0.0 < variance_coverage <= 1.0:
             raise ValueError(
@@ -224,6 +231,7 @@ class StatisticalTimingAnalyzer:
             )
         self.technology = technology
         self.variation = variation
+        self.kernel_config = resolve_config(kernel)
         self.delay_model = GateDelayModel(technology)
         self.spatial = SpatialCorrelationModel(
             grid_size=grid_size, correlation_length=variation.correlation_length
@@ -298,6 +306,12 @@ class StatisticalTimingAnalyzer:
         batched by fanin rank: one :func:`_max_arrays_batch` call folds the
         ``j``-th fanin of all gates in the level simultaneously, preserving
         the per-gate left-to-right pin order of the scalar reference.
+
+        When the threaded kernel tier is selected, wide levels are chunked
+        into contiguous gate spans across the shared timing pool -- each
+        gate's fold only reads lower-level arrivals and writes its own row,
+        so chunks are independent and the result matches the vectorized fold
+        per gate.
         """
         means, sens, rands = self.gate_delay_components(netlist, sizes)
         schedule = netlist.timing_schedule()
@@ -305,6 +319,8 @@ class StatisticalTimingAnalyzer:
         arr_mean = np.zeros(n_gates)
         arr_sens = np.zeros((n_gates, self.n_factors))
         arr_rand = np.zeros(n_gates)
+        state = (arr_mean, arr_sens, arr_rand, means, sens, rands)
+        row_bytes = 8 * (self.n_factors + 2)
         for plan in schedule.level_plans:
             gates = plan.gates
             if plan.edge_cols is None:
@@ -313,29 +329,52 @@ class StatisticalTimingAnalyzer:
                 arr_sens[gates] = sens[gates]
                 arr_rand[gates] = rands[gates]
                 continue
-            # The plan sorts the level's gates by fanin count, so the gates
-            # still folding their rank-j fanin are always the :k prefix.
-            first = plan.edge_cols[: plan.width]
-            acc_mean = arr_mean[first]
-            acc_sens = arr_sens[first]
-            acc_rand = arr_rand[first]
-            offset = plan.width
-            for k in plan.rank_counts:
-                nxt = plan.edge_cols[offset : offset + k]
+            workers = self.kernel_config.resolve(plan.width, row_bytes)
+            if workers > 1:
+                executor = shared_executor(workers)
+                futures = [
+                    executor.submit(self._fold_level_span, plan, state, lo, hi)
+                    for lo, hi in split_rows(plan.width, workers)
+                ]
+                for future in futures:
+                    future.result()
+            else:
+                self._fold_level_span(plan, state, 0, plan.width)
+        return arr_mean, arr_sens, arr_rand
+
+    @staticmethod
+    def _fold_level_span(plan, state, lo: int, hi: int) -> None:
+        """Fold the fanin ranks for the ``[lo, hi)`` span of one level's gates.
+
+        The plan sorts the level's gates by fanin count, so the gates still
+        folding their rank-``j`` fanin are always the ``:k`` prefix; within a
+        span that prefix clips to ``[lo, min(k, hi))``.
+        """
+        arr_mean, arr_sens, arr_rand, means, sens, rands = state
+        cols = plan.edge_cols
+        first = cols[lo:hi]
+        acc_mean = arr_mean[first]
+        acc_sens = arr_sens[first]
+        acc_rand = arr_rand[first]
+        offset = plan.width
+        for k in plan.rank_counts:
+            count = min(k, hi) - lo
+            if count > 0:
+                nxt = cols[offset + lo : offset + lo + count]
                 folded = _max_arrays_batch(
-                    acc_mean[:k],
-                    acc_sens[:k],
-                    acc_rand[:k],
+                    acc_mean[:count],
+                    acc_sens[:count],
+                    acc_rand[:count],
                     arr_mean[nxt],
                     arr_sens[nxt],
                     arr_rand[nxt],
                 )
-                acc_mean[:k], acc_sens[:k], acc_rand[:k] = folded
-                offset += k
-            arr_mean[gates] = acc_mean + means[gates]
-            arr_sens[gates] = acc_sens + sens[gates]
-            arr_rand[gates] = np.hypot(acc_rand, rands[gates])
-        return arr_mean, arr_sens, arr_rand
+                acc_mean[:count], acc_sens[:count], acc_rand[:count] = folded
+            offset += k
+        gates = plan.gates[lo:hi]
+        arr_mean[gates] = acc_mean + means[gates]
+        arr_sens[gates] = acc_sens + sens[gates]
+        arr_rand[gates] = np.hypot(acc_rand, rands[gates])
 
     def combinational_delay(
         self, netlist: Netlist, sizes: np.ndarray | None = None

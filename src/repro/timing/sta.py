@@ -22,6 +22,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.circuit.netlist import Netlist
+from repro.timing.kernels import KernelConfig, resolve_config, shared_executor, split_rows
 
 
 # Sample-block byte target for the 2-D kernel: one arrival block plus one
@@ -60,10 +61,21 @@ def _propagate_block(schedule, delays: np.ndarray, arrivals: np.ndarray) -> None
         arrivals[..., gates] = latest
 
 
+def _propagate_rows(
+    schedule, delays: np.ndarray, arrivals: np.ndarray, block: int
+) -> None:
+    """Forward-propagate a contiguous span of sample rows in L2-sized blocks."""
+    n_rows = delays.shape[0]
+    for start in range(0, n_rows, block):
+        stop = min(start + block, n_rows)
+        _propagate_block(schedule, delays[start:stop], arrivals[start:stop])
+
+
 def arrival_times(
     netlist: Netlist,
     gate_delays: np.ndarray,
     out: np.ndarray | None = None,
+    kernel: KernelConfig | str | None = None,
 ) -> np.ndarray:
     """Arrival time at the output of every gate.
 
@@ -79,6 +91,13 @@ def arrival_times(
         Streaming callers (the chunked Monte-Carlo engine, the sizers' inner
         loops) pass a reused workspace here: for large sample blocks the
         page-fault cost of a fresh allocation rivals the propagation itself.
+    kernel:
+        Kernel-tier selection for the 2-D path: a
+        :class:`~repro.timing.kernels.KernelConfig`, a tier name
+        (``"auto"``/``"vectorized"``/``"threaded"``) or ``None`` for the
+        process default.  Sample rows are independent, so the threaded tier
+        splits them into contiguous spans across a shared thread pool and is
+        bit-identical to the vectorized tier.  Ignored for 1-D delays.
 
     Returns
     -------
@@ -115,9 +134,23 @@ def arrival_times(
     # with its whole working set resident in L2.
     n_samples = gate_delays.shape[0]
     block = max(16, _BLOCK_BYTES // max(8 * schedule.n_gates, 1))
-    for start in range(0, n_samples, block):
-        stop = min(start + block, n_samples)
-        _propagate_block(schedule, gate_delays[start:stop], arrivals[start:stop])
+    workers = resolve_config(kernel).resolve(n_samples, 8 * schedule.n_gates)
+    if workers > 1:
+        executor = shared_executor(workers)
+        futures = [
+            executor.submit(
+                _propagate_rows,
+                schedule,
+                gate_delays[start:stop],
+                arrivals[start:stop],
+                block,
+            )
+            for start, stop in split_rows(n_samples, workers)
+        ]
+        for future in futures:
+            future.result()
+    else:
+        _propagate_rows(schedule, gate_delays, arrivals, block)
     return arrivals
 
 
@@ -125,18 +158,19 @@ def max_delay(
     netlist: Netlist,
     gate_delays: np.ndarray,
     out: np.ndarray | None = None,
+    kernel: KernelConfig | str | None = None,
 ) -> np.ndarray | float:
     """Maximum arrival time over the primary outputs.
 
     If no primary outputs are marked, the maximum over all gates is used
     (every path must terminate somewhere).
 
-    ``out`` is an optional arrival-time workspace forwarded to
-    :func:`arrival_times` so streaming callers can avoid reallocating it.
+    ``out`` is an optional arrival-time workspace and ``kernel`` the tier
+    selection, both forwarded to :func:`arrival_times`.
 
     Returns a scalar for 1-D delays, or an ``(n_samples,)`` array for 2-D.
     """
-    arrivals = arrival_times(netlist, gate_delays, out=out)
+    arrivals = arrival_times(netlist, gate_delays, out=out, kernel=kernel)
     mask = netlist.output_mask()
     if not mask.any():
         mask = np.ones(arrivals.shape[-1], dtype=bool)

@@ -105,7 +105,7 @@ class TestScenarios:
             Scenario(
                 name="bad",
                 study=cheap_study_scenario.study,
-                design=CORPUS[-1].design,
+                design=next(s.design for s in CORPUS if s.design is not None),
             )
 
     @pytest.mark.parametrize("scenario", CORPUS, ids=[s.name for s in CORPUS])
