@@ -52,6 +52,18 @@ verify
 """
 
 from repro.api.backends import DelayReport, available_backends, register_backend
+from repro.circuit.ingest import (  # registers the bench/yosys_json/scale_logic kinds
+    CellMapping,
+    ParseError,
+    load_bench,
+    load_yosys_json,
+    parse_bench,
+    parse_yosys_json,
+    scale_logic_block,
+    write_bench,
+    write_yosys_json,
+)
+from repro.circuit.netlist import NetlistError, NetlistLookupError
 from repro.api.canonical import spec_digest
 from repro.api.design import (
     DesignReport,
@@ -169,4 +181,15 @@ __all__ = [
     "Scenario",
     "ScenarioFuzzer",
     "run_conformance",
+    "CellMapping",
+    "NetlistError",
+    "NetlistLookupError",
+    "ParseError",
+    "load_bench",
+    "load_yosys_json",
+    "parse_bench",
+    "parse_yosys_json",
+    "scale_logic_block",
+    "write_bench",
+    "write_yosys_json",
 ]

@@ -250,11 +250,20 @@ def register_pipeline_kind(
     """Register a custom pipeline family for :class:`PipelineSpec`.
 
     ``factory(spec, technology)`` must return a built ``Pipeline``.
+    Re-registering the *same* factory under the same kind is a no-op, so
+    modules that register kinds at import time survive re-import (serve
+    workers, pytest); a *different* factory still requires ``replace=True``.
     """
     if not kind or not isinstance(kind, str):
         raise ValueError(f"kind must be a non-empty string, got {kind!r}")
-    if kind in _PIPELINE_KINDS and not replace:
-        raise ValueError(f"pipeline kind {kind!r} is already registered")
+    existing = _PIPELINE_KINDS.get(kind)
+    if existing is not None and not replace:
+        if existing is factory:
+            return
+        raise ValueError(
+            f"pipeline kind {kind!r} is already registered with a different "
+            f"factory ({existing!r}); pass replace=True to override"
+        )
     _PIPELINE_KINDS[kind] = factory
 
 

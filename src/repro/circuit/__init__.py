@@ -19,10 +19,13 @@ the gate-level stand-in:
 * :mod:`repro.circuit.iscas` -- synthetic stand-ins for the ISCAS85
   benchmarks (c432, c1908, c2670, c3540) matched in gate count, depth and
   I/O count to the published circuits.
+* :mod:`repro.circuit.ingest` -- external netlist ingestion (ISCAS-style
+  ``.bench`` and Yosys mapped JSON), bit-exact emitters, and the
+  Rent's-rule scale generator for 100k-1M gate workloads.
 """
 
 from repro.circuit.cell_library import Cell, CellLibrary, standard_cell_library
-from repro.circuit.netlist import Gate, Netlist
+from repro.circuit.netlist import Gate, Netlist, NetlistError, NetlistLookupError
 from repro.circuit.schedule import TimingSchedule, compile_schedule
 from repro.circuit.flipflop import FlipFlopTiming
 from repro.circuit.generators import (
@@ -32,6 +35,17 @@ from repro.circuit.generators import (
     random_logic_block,
 )
 from repro.circuit.iscas import ISCAS_PROFILES, iscas_benchmark
+from repro.circuit.ingest import (
+    CellMapping,
+    ParseError,
+    load_bench,
+    load_yosys_json,
+    parse_bench,
+    parse_yosys_json,
+    scale_logic_block,
+    write_bench,
+    write_yosys_json,
+)
 
 __all__ = [
     "Cell",
@@ -39,6 +53,8 @@ __all__ = [
     "standard_cell_library",
     "Gate",
     "Netlist",
+    "NetlistError",
+    "NetlistLookupError",
     "TimingSchedule",
     "compile_schedule",
     "FlipFlopTiming",
@@ -48,4 +64,13 @@ __all__ = [
     "decoder_block",
     "iscas_benchmark",
     "ISCAS_PROFILES",
+    "CellMapping",
+    "ParseError",
+    "load_bench",
+    "load_yosys_json",
+    "parse_bench",
+    "parse_yosys_json",
+    "scale_logic_block",
+    "write_bench",
+    "write_yosys_json",
 ]

@@ -13,6 +13,14 @@ steep its area-vs-delay curve is, how many near-critical paths it has -- not
 the Boolean functions it computes, so matching the structural profile
 preserves the behaviour the experiments measure.  The substitution is
 recorded in DESIGN.md.
+
+To run the experiments on the *real* netlists instead, obtain the ISCAS85
+``.bench`` files and load them through :mod:`repro.circuit.ingest`::
+
+    PipelineSpec(kind="bench", options={"path": "c432.bench"})
+
+(or ``load_bench``/``parse_bench`` directly) -- a parsed benchmark is a
+drop-in replacement for these stand-ins everywhere a netlist is consumed.
 """
 
 from __future__ import annotations
@@ -63,7 +71,8 @@ def iscas_benchmark(
     Parameters
     ----------
     name:
-        Benchmark name, e.g. ``"c432"``.  The paper's ``"c1980"`` is accepted
+        Benchmark name, e.g. ``"c432"``.  Lookup is case-insensitive and
+        ignores surrounding whitespace; the paper's ``"c1980"`` is accepted
         as an alias for c1908.
 
     Returns
@@ -73,11 +82,13 @@ def iscas_benchmark(
         gate counts and approximate logic depth, generated deterministically
         from a per-benchmark seed.
     """
-    canonical = _ALIASES.get(name, name)
+    normalised = name.strip().lower()
+    canonical = _ALIASES.get(normalised, normalised)
     if canonical not in ISCAS_PROFILES:
         raise KeyError(
-            f"unknown ISCAS85 benchmark {name!r}; available: "
-            f"{sorted(ISCAS_PROFILES) + sorted(_ALIASES)}"
+            f"unknown ISCAS85 benchmark {name!r}; known benchmarks: "
+            f"{sorted(ISCAS_PROFILES)}; aliases: "
+            f"{ {alias: target for alias, target in sorted(_ALIASES.items())} }"
         )
     profile = ISCAS_PROFILES[canonical]
     netlist = random_logic_block(

@@ -31,6 +31,44 @@ from repro.circuit.schedule import TimingSchedule, compile_schedule
 from repro.process.technology import Technology, default_technology
 
 
+class NetlistError(ValueError):
+    """A structural netlist construction error, located at its cause.
+
+    Carries the offending ``netlist`` name plus (when applicable) the
+    ``gate`` and ``net`` involved, so parsers and generators can surface
+    "gate G3 references undefined net n42" instead of a deep failure inside
+    the topological sort.  Subclasses :class:`ValueError` so existing
+    ``except ValueError`` call sites keep working.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        netlist: str | None = None,
+        gate: str | None = None,
+        net: str | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.message = message
+        self.netlist = netlist
+        self.gate = gate
+        self.net = net
+
+    def __str__(self) -> str:
+        return self.message
+
+
+class NetlistLookupError(NetlistError, KeyError):
+    """A failed name lookup during netlist construction.
+
+    Also subclasses :class:`KeyError` so callers that treat unknown
+    cells/fanins/gates as key errors (the historical contract) keep working.
+    """
+
+    __str__ = NetlistError.__str__
+
+
 @dataclass
 class Gate:
     """One sized, placed cell instance.
@@ -111,7 +149,11 @@ class Netlist:
     def add_primary_input(self, name: str) -> None:
         """Declare a primary input node."""
         if name in self._gates or name in self._primary_inputs:
-            raise ValueError(f"node {name!r} already exists in netlist {self.name!r}")
+            raise NetlistError(
+                f"node {name!r} already exists in netlist {self.name!r}",
+                netlist=self.name,
+                gate=name,
+            )
         self._primary_inputs.append(name)
         self._dirty = True
 
@@ -123,26 +165,55 @@ class Netlist:
         size: float = 1.0,
         x: float = 0.5,
         y: float = 0.5,
+        allow_forward: bool = False,
     ) -> Gate:
-        """Add a gate driven by the named fanin nodes and return it."""
+        """Add a gate driven by the named fanin nodes and return it.
+
+        ``allow_forward=True`` defers the fanin-existence check to the next
+        structural rebuild, so file parsers can add gates in file order even
+        when a fanin net is defined further down; a fanin that is *never*
+        defined still raises a located :class:`NetlistError` (at
+        :meth:`validate` or first structural query) rather than silently
+        levelising wrong.
+        """
         if name in self._gates or name in self._primary_inputs:
-            raise ValueError(f"node {name!r} already exists in netlist {self.name!r}")
+            raise NetlistError(
+                f"duplicate gate name {name!r} in netlist {self.name!r}",
+                netlist=self.name,
+                gate=name,
+            )
         if cell not in self.library:
-            raise KeyError(f"cell {cell!r} not in library for netlist {self.name!r}")
+            raise NetlistLookupError(
+                f"gate {name!r}: cell {cell!r} not in library for netlist "
+                f"{self.name!r}; available cells: {self.library.names}",
+                netlist=self.name,
+                gate=name,
+            )
         cell_obj = self.library[cell]
         fanins = tuple(fanins)
         if len(fanins) != cell_obj.n_inputs:
-            raise ValueError(
+            raise NetlistError(
                 f"gate {name!r}: cell {cell} expects {cell_obj.n_inputs} fanins, "
-                f"got {len(fanins)}"
+                f"got {len(fanins)}",
+                netlist=self.name,
+                gate=name,
             )
-        for fanin in fanins:
-            if fanin not in self._gates and fanin not in self._primary_inputs:
-                raise KeyError(
-                    f"gate {name!r}: fanin {fanin!r} is not a known gate or primary input"
-                )
+        if not allow_forward:
+            for fanin in fanins:
+                if fanin not in self._gates and fanin not in self._primary_inputs:
+                    raise NetlistLookupError(
+                        f"gate {name!r}: fanin {fanin!r} is not a known gate or "
+                        f"primary input",
+                        netlist=self.name,
+                        gate=name,
+                        net=fanin,
+                    )
         if size <= 0.0:
-            raise ValueError(f"gate {name!r}: size must be positive, got {size}")
+            raise NetlistError(
+                f"gate {name!r}: size must be positive, got {size}",
+                netlist=self.name,
+                gate=name,
+            )
         gate = Gate(name=name, cell=cell, fanins=fanins, size=float(size), x=x, y=y)
         self._gates[name] = gate
         self._dirty = True
@@ -151,10 +222,25 @@ class Netlist:
     def mark_primary_output(self, name: str) -> None:
         """Mark a gate as a primary output of the block."""
         if name not in self._gates:
-            raise KeyError(f"cannot mark unknown gate {name!r} as primary output")
+            raise NetlistLookupError(
+                f"cannot mark unknown gate {name!r} as primary output of "
+                f"netlist {self.name!r}",
+                netlist=self.name,
+                gate=name,
+            )
         if name not in self._primary_outputs:
             self._primary_outputs.append(name)
             self._dirty = True
+
+    def validate(self) -> None:
+        """Eagerly check structural integrity (dangling fanins, cycles).
+
+        Parsers that build with ``allow_forward=True`` call this once at the
+        end of the file so a gate whose fanin names a net that is never
+        defined, or a combinational cycle, surfaces as a located
+        :class:`NetlistError` at parse time.
+        """
+        self._ensure_current()
 
     # ------------------------------------------------------------------
     # Basic queries
@@ -200,6 +286,8 @@ class Netlist:
         order: list[str] = []
         index: dict[str, int] = {}
         in_degree: dict[str, int] = {}
+        pi_set = set(self._primary_inputs)
+        dangling: list[tuple[str, str]] = []
         dependents: dict[str, list[str]] = {name: [] for name in self._primary_inputs}
         for gate in self._gates.values():
             dependents.setdefault(gate.name, [])
@@ -207,8 +295,23 @@ class Netlist:
             for fanin in gate.fanins:
                 if fanin in self._gates:
                     gate_fanin_count += 1
+                elif fanin not in pi_set:
+                    dangling.append((gate.name, fanin))
                 dependents.setdefault(fanin, []).append(gate.name)
             in_degree[gate.name] = gate_fanin_count
+
+        if dangling:
+            gate_name, net = dangling[0]
+            listing = ", ".join(
+                f"{g!r} -> {n!r}" for g, n in dangling[:5]
+            ) + ("..." if len(dangling) > 5 else "")
+            raise NetlistError(
+                f"netlist {self.name!r} has {len(dangling)} fanin reference(s) to "
+                f"net(s) that are never defined (gate -> missing net): {listing}",
+                netlist=self.name,
+                gate=gate_name,
+                net=net,
+            )
 
         ready = [name for name, degree in in_degree.items() if degree == 0]
         ready.sort()
@@ -225,10 +328,13 @@ class Netlist:
                     ready_set.append(successor)
 
         if len(order) != len(self._gates):
-            unresolved = sorted(set(self._gates) - set(order))
-            raise ValueError(
-                f"netlist {self.name!r} contains a combinational cycle involving "
-                f"{unresolved[:5]}{'...' if len(unresolved) > 5 else ''}"
+            unresolved = set(self._gates) - set(order)
+            cycle = self._find_cycle(unresolved)
+            raise NetlistError(
+                f"netlist {self.name!r} contains a combinational cycle: "
+                f"{' -> '.join(cycle)} -> {cycle[0]}",
+                netlist=self.name,
+                gate=cycle[0],
             )
 
         fanin_indices: list[list[int]] = []
@@ -253,6 +359,20 @@ class Netlist:
         self._structure_version += 1
         self._schedule = None
         self._dirty = False
+
+    def _find_cycle(self, unresolved: set[str]) -> list[str]:
+        """Walk the unresolved gates to extract one actual cycle path."""
+        start = min(unresolved)
+        path: list[str] = []
+        seen: dict[str, int] = {}
+        node = start
+        while node not in seen:
+            seen[node] = len(path)
+            path.append(node)
+            # Follow any fanin that is itself unresolved; one always exists,
+            # otherwise the gate would have been scheduled.
+            node = next(f for f in self._gates[node].fanins if f in unresolved)
+        return path[seen[node]:]
 
     def _ensure_current(self) -> None:
         if self._dirty:
@@ -451,8 +571,16 @@ class Netlist:
         for pi in self._primary_inputs:
             clone.add_primary_input(pi)
         for gate in self._gates.values():
+            # Insertion order is not necessarily topological (parsers may add
+            # gates in file order), so defer fanin checks to the rebuild.
             clone.add_gate(
-                gate.name, gate.cell, gate.fanins, size=gate.size, x=gate.x, y=gate.y
+                gate.name,
+                gate.cell,
+                gate.fanins,
+                size=gate.size,
+                x=gate.x,
+                y=gate.y,
+                allow_forward=True,
             )
         for po in self._primary_outputs:
             clone.mark_primary_output(po)

@@ -43,6 +43,10 @@ oracle                    fast path vs. reference
 ``threaded-2d``           the threaded row/gate-chunked kernel tier for 2-D
                           sampled STA and SSTA component propagation vs. the
                           single-threaded vectorized kernels
+``parser-round-trip``     the :mod:`repro.circuit.ingest` emitters vs. their
+                          parsers: emit -> parse must reproduce bit-identical
+                          topological order, sizes, loads, schedule levels
+                          and nominal arrival times
 ========================  ====================================================
 
 Every oracle is cheap relative to the scenario's own characterisation
@@ -774,6 +778,84 @@ class Threaded2dOracle:
         return _check(self, scenario, worst, detail)
 
 
+@dataclass
+class ParserRoundTripOracle:
+    """Emit -> parse must be a bit-exact structural round trip.
+
+    Every stage netlist is written out through both ingestion emitters
+    (:func:`repro.circuit.ingest.write_bench` and
+    :func:`~repro.circuit.ingest.write_yosys_json`), parsed back, and the
+    reconstruction must be *byte-identical* where it counts: same
+    topological order and primary outputs, bit-equal sizes, loads, compiled
+    schedule levels and nominal arrival times.  This is the contract that
+    lets a design leave the system as a file and come back without
+    perturbing a single sample of any downstream characterisation.
+    """
+
+    name: str = "parser-round-trip"
+    kinds: tuple[str, ...] = ("study", "design")
+    tolerance: Tolerance = field(default_factory=Tolerance.exact)
+
+    def check(self, session: "Session", scenario: Scenario) -> OracleCheck:
+        from repro.circuit.ingest import (
+            parse_bench,
+            parse_yosys_json,
+            write_bench,
+            write_yosys_json,
+        )
+        from repro.timing.delay_model import GateDelayModel
+
+        pipeline = session.pipeline(scenario.pipeline)
+        model = GateDelayModel(session.technology)
+        worst, detail = 0.0, ""
+
+        def note(excess: float, where: str) -> None:
+            nonlocal worst, detail
+            if excess > worst:
+                worst, detail = excess, where
+
+        for stage in pipeline.stages:
+            netlist = stage.netlist
+            if netlist.n_gates == 0:
+                continue
+            delays = model.nominal_delays(netlist)
+            arrivals = arrival_times(netlist, delays)
+            levels = netlist.levels()
+            for fmt, reparsed in (
+                ("bench", parse_bench(write_bench(netlist), netlist.name)),
+                ("yosys", parse_yosys_json(write_yosys_json(netlist))),
+            ):
+                where = f"stage {stage.name} ({fmt})"
+                if reparsed.topological_order() != netlist.topological_order():
+                    note(float("inf"), f"{where}: topological order changed")
+                    continue
+                if reparsed.primary_outputs != netlist.primary_outputs:
+                    note(float("inf"), f"{where}: primary outputs changed")
+                    continue
+                note(
+                    self.tolerance.excess(reparsed.sizes(), netlist.sizes()),
+                    f"{where}: sizes",
+                )
+                note(
+                    self.tolerance.excess(reparsed.levels(), levels),
+                    f"{where}: schedule levels",
+                )
+                note(
+                    self.tolerance.excess(
+                        reparsed.load_capacitances(), netlist.load_capacitances()
+                    ),
+                    f"{where}: loads",
+                )
+                note(
+                    self.tolerance.excess(
+                        arrival_times(reparsed, model.nominal_delays(reparsed)),
+                        arrivals,
+                    ),
+                    f"{where}: arrival times",
+                )
+        return _check(self, scenario, worst, detail)
+
+
 for _oracle in (
     StaForwardOracle(),
     StaBackwardOracle(),
@@ -789,5 +871,6 @@ for _oracle in (
     SweepFaultRecoveryOracle(),
     IncrementalStaOracle(),
     Threaded2dOracle(),
+    ParserRoundTripOracle(),
 ):
     register_oracle(_oracle)

@@ -44,3 +44,20 @@ class TestGeneratedStructure:
     def test_unknown_benchmark_raises(self):
         with pytest.raises(KeyError):
             iscas_benchmark("c9999")
+
+
+class TestNameNormalisation:
+    def test_names_are_case_insensitive(self):
+        assert iscas_benchmark("C432").n_gates == iscas_benchmark("c432").n_gates
+
+    def test_whitespace_and_alias_normalised(self):
+        a = iscas_benchmark(" C1980 ")
+        b = iscas_benchmark("c1908")
+        assert a.n_gates == b.n_gates
+
+    def test_unknown_name_error_is_actionable(self):
+        with pytest.raises(KeyError) as err:
+            iscas_benchmark("c17")
+        message = str(err.value)
+        assert "c432" in message and "c3540" in message
+        assert "c1980" in message  # aliases are listed too

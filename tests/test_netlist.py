@@ -172,3 +172,70 @@ class TestPlacementAndCopy:
         netlist = build_diamond()
         netlist.set_sizes(np.array([2.0, 2.0, 2.0]))
         assert netlist.copy().total_area() == pytest.approx(netlist.total_area())
+
+
+class TestTypedErrors:
+    def test_unknown_fanin_is_located(self):
+        from repro.circuit.netlist import NetlistError
+
+        netlist = build_diamond()
+        with pytest.raises(NetlistError) as err:
+            netlist.add_gate("bad", "INV", ["ghost"])
+        assert err.value.netlist == "diamond"
+        assert err.value.gate == "bad"
+        assert err.value.net == "ghost"
+        assert isinstance(err.value, ValueError)
+
+    def test_duplicate_gate_is_located(self):
+        from repro.circuit.netlist import NetlistError
+
+        netlist = build_diamond()
+        with pytest.raises(NetlistError) as err:
+            netlist.add_gate("top", "INV", ["a"])
+        assert err.value.gate == "top"
+        assert "duplicate" in str(err.value)
+
+    def test_forward_reference_deferred_then_validated(self):
+        from repro.circuit.netlist import NetlistError
+
+        netlist = Netlist("fwd")
+        netlist.add_primary_input("a")
+        netlist.add_gate("u", "NAND2", ["a", "ghost"], allow_forward=True)
+        with pytest.raises(NetlistError) as err:
+            netlist.validate()
+        assert err.value.gate == "u"
+        assert err.value.net == "ghost"
+        # Supplying the missing driver afterwards makes it valid.
+        netlist = Netlist("fwd")
+        netlist.add_primary_input("a")
+        netlist.add_gate("u", "NAND2", ["a", "later"], allow_forward=True)
+        netlist.add_gate("later", "INV", ["a"])
+        netlist.mark_primary_output("u")
+        netlist.validate()
+        assert netlist.logic_depth() == 2
+
+    def test_cycle_error_names_the_cycle(self):
+        from repro.circuit.netlist import NetlistError
+
+        netlist = Netlist("loop")
+        netlist.add_primary_input("a")
+        netlist.add_gate("u", "NAND2", ["a", "w"], allow_forward=True)
+        netlist.add_gate("v", "INV", ["u"])
+        netlist.add_gate("w", "INV", ["v"])
+        with pytest.raises(NetlistError) as err:
+            netlist.validate()
+        message = str(err.value)
+        assert "cycle" in message
+        assert "u -> " in message or "-> u" in message
+
+    def test_lookup_error_is_both_keyerror_and_valueerror(self):
+        from repro.circuit.netlist import NetlistLookupError
+
+        netlist = build_diamond()
+        with pytest.raises(NetlistLookupError) as err:
+            netlist.mark_primary_output("ghost")
+        assert isinstance(err.value, KeyError)
+        assert isinstance(err.value, ValueError)
+        # str() is the plain message, not KeyError's repr-quoted form.
+        assert not str(err.value).startswith('"')
+        assert "cannot mark unknown gate" in str(err.value)
