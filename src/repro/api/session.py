@@ -30,6 +30,8 @@ parallelism.
 
 from __future__ import annotations
 
+import threading
+import time
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -127,6 +129,11 @@ class Session:
         self.kernel_config = resolve_config(kernel)
         self.store_hits = 0
         self.store_writes = 0
+        self.store_io_seconds = 0.0
+        # Counters are read-modify-write; the serve thread bridge (and any
+        # embedder sharing a session across threads) would otherwise
+        # undercount under load.  Plain reads of the ints stay lock-free.
+        self._counter_lock = threading.Lock()
         self._pipelines: dict[PipelineSpec, Pipeline] = {}
         self._variations: dict[VariationSpec, VariationModel] = {}
         self._mc_runs: dict[tuple, PipelineMonteCarloResult] = {}
@@ -139,6 +146,11 @@ class Session:
         self._design_validations: dict[tuple, DelayReport] = {}
         self.cache_hits = 0
         self.cache_misses = 0
+
+    def _count(self, name: str, amount: float = 1) -> None:
+        """Thread-safe counter bump (``stats()`` counters are shared state)."""
+        with self._counter_lock:
+            setattr(self, name, getattr(self, name) + amount)
 
     # ------------------------------------------------------------------
     # Cached intermediates
@@ -194,7 +206,7 @@ class Session:
         )
         run = self._mc_runs.get(key)
         if run is None:
-            self.cache_misses += 1
+            self._count("cache_misses")
             engine = MonteCarloEngine(
                 self.variation(variation_spec),
                 technology=self.technology,
@@ -207,7 +219,7 @@ class Session:
             run = engine.run_pipeline(self.pipeline(pipeline_spec))
             self._mc_runs[key] = run
         else:
-            self.cache_hits += 1
+            self._count("cache_hits")
         return run
 
     def analyzer(
@@ -278,7 +290,7 @@ class Session:
         key = (spec.pipeline, spec.variation, design.balance_key())
         cached = self._balanced.get(key)
         if cached is None:
-            self.cache_misses += 1
+            self._count("cache_misses")
             base = self.pipeline_copy(spec.pipeline)
             sizer = self.sizer(spec.variation, design)
             target_delay, stage_yield = derive_design_targets(base, sizer, design)
@@ -296,7 +308,7 @@ class Session:
             cached = (balanced, target_delay, stage_yield, stage_targets)
             self._balanced[key] = cached
         else:
-            self.cache_hits += 1
+            self._count("cache_hits")
         return cached
 
     def area_delay_curves(
@@ -321,7 +333,7 @@ class Session:
         )
         curves = self._curves.get(key)
         if curves is None:
-            self.cache_misses += 1
+            self._count("cache_misses")
             base = self.pipeline_copy(spec.pipeline)
             sizer = self.sizer(spec.variation, design)
             curves = {
@@ -332,7 +344,7 @@ class Session:
             }
             self._curves[key] = curves
         else:
-            self.cache_hits += 1
+            self._count("cache_hits")
         return curves
 
     def validate_design(
@@ -358,7 +370,7 @@ class Session:
             )
             cached = self._design_validations.get(key)
             if cached is not None:
-                self.cache_hits += 1
+                self._count("cache_hits")
                 return cached
         engine = MonteCarloEngine(
             self.variation(spec.variation),
@@ -371,7 +383,7 @@ class Session:
         )
         report = delay_report_from_pipeline_run(engine.run_pipeline(pipeline))
         if key is not None:
-            self.cache_misses += 1
+            self._count("cache_misses")
             self._design_validations[key] = report
         return report
 
@@ -379,14 +391,23 @@ class Session:
     # Persistent read-through (optional checkpoint store)
     # ------------------------------------------------------------------
     def _store_get(self, spec):
-        """Fetch a report from the persistent store, if one is attached."""
+        """Fetch a report from the persistent store, if one is attached.
+
+        Wall-clock spent inside the store is accumulated in
+        ``store_io_seconds`` so execution layers can charge per-point
+        timeouts to the evaluation alone, never to persistence I/O.
+        """
         if self.store is None:
             return None
         from repro.robust.checkpoint import resolved_store_spec
 
-        report = self.store.get(resolved_store_spec(spec, self))
+        started = time.monotonic()
+        try:
+            report = self.store.get(resolved_store_spec(spec, self))
+        finally:
+            self._count("store_io_seconds", time.monotonic() - started)
         if report is not None:
-            self.store_hits += 1
+            self._count("store_hits")
         return report
 
     def _store_put(self, spec, report) -> None:
@@ -395,8 +416,12 @@ class Session:
             return
         from repro.robust.checkpoint import resolved_store_spec
 
-        self.store.put(resolved_store_spec(spec, self), report)
-        self.store_writes += 1
+        started = time.monotonic()
+        try:
+            self.store.put(resolved_store_spec(spec, self), report)
+        finally:
+            self._count("store_io_seconds", time.monotonic() - started)
+        self._count("store_writes")
 
     # ------------------------------------------------------------------
     # Queries
@@ -477,6 +502,7 @@ class Session:
             "cache_misses": self.cache_misses,
             "store_hits": self.store_hits,
             "store_writes": self.store_writes,
+            "store_io_seconds": self.store_io_seconds,
             "root_seed": self.root_seed,
             "has_store": self.store is not None,
             "cached": {
@@ -505,10 +531,12 @@ class Session:
         self._curves.clear()
         self._design_reports.clear()
         self._design_validations.clear()
-        self.cache_hits = 0
-        self.cache_misses = 0
-        self.store_hits = 0
-        self.store_writes = 0
+        with self._counter_lock:
+            self.cache_hits = 0
+            self.cache_misses = 0
+            self.store_hits = 0
+            self.store_writes = 0
+            self.store_io_seconds = 0.0
 
 
 class Study:

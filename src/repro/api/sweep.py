@@ -470,6 +470,7 @@ class ScenarioSweep:
         n_jobs: int | None = None,
         policy: ExecutionPolicy | None = None,
         fault_plan: FaultPlan | None = None,
+        shards: int | None = None,
     ) -> SweepResult:
         """Evaluate every point; ``n_jobs > 1`` fans out across processes.
 
@@ -491,19 +492,43 @@ class ScenarioSweep:
         structured failures, with the original exception as its cause).
         ``fault_plan`` injects deterministic faults for chaos testing (and
         implies the partial-result contract).
+
+        ``shards > 1`` switches to the shard runner
+        (:func:`repro.robust.shard.run_sharded`): tasks are partitioned
+        across worker processes by content-addressed cache key and the
+        shards rendezvous only through a shared checkpoint store, merging
+        to a result bit-identical to a serial run.  ``shards`` and
+        ``n_jobs`` are mutually exclusive (a shard already runs its tasks
+        through a full engine).
         """
         # Default the session before branching so serial and parallel runs
         # resolve ``self.session`` identically.
         if session is None:
             session = self.session if self.session is not None else Session()
         strict = policy is None and fault_plan is None
-        points, failures, trace = execute_tasks(
-            self.tasks(session),
-            session,
-            policy=policy,
-            n_jobs=n_jobs,
-            fault_plan=fault_plan,
-        )
+        if shards is not None and shards > 1:
+            if n_jobs is not None and n_jobs > 1:
+                raise ValueError(
+                    "shards and n_jobs are mutually exclusive; each shard "
+                    "already runs its tasks through a full engine"
+                )
+            from repro.robust.shard import run_sharded
+
+            points, failures, trace = run_sharded(
+                self.tasks(session),
+                session,
+                shards=shards,
+                policy=policy,
+                fault_plan=fault_plan,
+            )
+        else:
+            points, failures, trace = execute_tasks(
+                self.tasks(session),
+                session,
+                policy=policy,
+                n_jobs=n_jobs,
+                fault_plan=fault_plan,
+            )
         result = SweepResult(points, failures=failures, trace=trace)
         if strict:
             result.raise_on_failure()
@@ -561,8 +586,13 @@ def run_sweep(
     seed_policy: str = "spawn",
     policy: ExecutionPolicy | None = None,
     fault_plan: FaultPlan | None = None,
+    shards: int | None = None,
 ) -> SweepResult:
     """One-shot facade: build a :class:`ScenarioSweep` and run it."""
     return ScenarioSweep(base, axes, mode=mode, seed_policy=seed_policy).run(
-        session=session, n_jobs=n_jobs, policy=policy, fault_plan=fault_plan
+        session=session,
+        n_jobs=n_jobs,
+        policy=policy,
+        fault_plan=fault_plan,
+        shards=shards,
     )

@@ -35,6 +35,24 @@ from repro.robust.faults import (
 )
 from repro.robust.policy import ExecutionPolicy
 
+_SHARD_EXPORTS = (
+    "merge_shard_results",
+    "partition_tasks",
+    "run_sharded",
+    "shard_for_digest",
+)
+
+
+def __getattr__(name: str):
+    # Lazy so `python -m repro.robust.shard` does not import the module
+    # twice (once here, once as __main__) and warn about it.
+    if name in _SHARD_EXPORTS:
+        from repro.robust import shard
+
+        return getattr(shard, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "CORRUPTED_RESULT",
     "FAULT_KINDS",
@@ -51,6 +69,10 @@ __all__ = [
     "apply_fault",
     "create_pool",
     "execute_tasks",
+    "merge_shard_results",
+    "partition_tasks",
     "resolved_store_spec",
+    "run_sharded",
+    "shard_for_digest",
     "spec_digest",
 ]

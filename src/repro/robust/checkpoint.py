@@ -33,10 +33,12 @@ uninterrupted ones.
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
 import pathlib
 import tempfile
+import threading
 from typing import TYPE_CHECKING, Iterator, Union
 
 # Spec identity (canonical payload + digest + seed resolution) is shared
@@ -58,6 +60,12 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     AnySpec = Union[StudySpec, DesignStudySpec]
     AnyReport = Union[DelayReport, DesignReport]
 
+#: Process-wide suffix counter for temp-file names.  Combined with the pid
+#: and thread id it makes every writer's temp path unique even when many
+#: processes (shard workers) and threads (the serve bridge) materialise the
+#: same digest at the same instant.
+_TMP_COUNTER = itertools.count()
+
 
 class CheckpointStore:
     """Content-addressed ``spec -> report`` store on the local filesystem.
@@ -75,6 +83,9 @@ class CheckpointStore:
         self.hits = 0
         self.misses = 0
         self.writes = 0
+        # Counter increments are read-modify-write; one store instance may be
+        # driven from several serve-bridge threads at once.
+        self._counter_lock = threading.Lock()
 
     # -- addressing ------------------------------------------------------
     def path_for(self, digest: str) -> pathlib.Path:
@@ -109,9 +120,11 @@ class CheckpointStore:
         except (OSError, ValueError, KeyError, TypeError):
             # Missing, torn, corrupt or mismatched entries are misses, never
             # crashes: the point simply recomputes (and rewrites the entry).
-            self.misses += 1
+            with self._counter_lock:
+                self.misses += 1
             return None
-        self.hits += 1
+        with self._counter_lock:
+            self.hits += 1
         return report
 
     def put(self, spec: "AnySpec", report: "AnyReport") -> str:
@@ -124,21 +137,57 @@ class CheckpointStore:
             "spec": spec_store_payload(spec),
             "report": report.to_dict(),
         }
-        handle, tmp_name = tempfile.mkstemp(
-            dir=path.parent, prefix=f".{digest[:8]}.", suffix=".tmp"
-        )
+        handle, tmp_name = self._open_tmp(path.parent, digest)
         try:
             with os.fdopen(handle, "w") as stream:
                 json.dump(payload, stream)
-            os.replace(tmp_name, path)
-        except BaseException:
             try:
-                os.unlink(tmp_name)
+                os.replace(tmp_name, path)
             except OSError:
-                pass
+                # The losing side of a concurrent materialisation of the same
+                # digest (possible on platforms where replace can fail while
+                # the winner holds the destination).  Equal digests imply
+                # equal computations, so the winner's bytes are ours: drop
+                # the temp file and count the write as served.
+                if not path.exists():
+                    raise
+                self._unlink_quietly(tmp_name)
+        except BaseException:
+            self._unlink_quietly(tmp_name)
             raise
-        self.writes += 1
+        with self._counter_lock:
+            self.writes += 1
         return digest
+
+    def _open_tmp(self, parent: pathlib.Path, digest: str) -> tuple[int, str]:
+        """An exclusively created temp file unique per process *and* thread.
+
+        The name carries pid, thread id and a process-wide counter, so two
+        shard workers (or serve-bridge threads) materialising the same digest
+        concurrently can never collide on one temp path; a stale leftover
+        from a crashed run with the same triple falls back to ``mkstemp``.
+        """
+        name = (
+            f".{digest[:8]}.{os.getpid()}.{threading.get_ident():x}."
+            f"{next(_TMP_COUNTER)}.tmp"
+        )
+        tmp_path = parent / name
+        try:
+            handle = os.open(
+                tmp_path, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o600
+            )
+        except FileExistsError:
+            return tempfile.mkstemp(
+                dir=parent, prefix=f".{digest[:8]}.", suffix=".tmp"
+            )
+        return handle, str(tmp_path)
+
+    @staticmethod
+    def _unlink_quietly(tmp_name: str) -> None:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
 
     # -- introspection ---------------------------------------------------
     def __contains__(self, spec: object) -> bool:

@@ -261,6 +261,19 @@ class _Engine:
                 continue
             self._run_point_serial(state)
 
+    def _attempt_elapsed(self, attempt_start: float, io_before: float) -> float:
+        """Wall-clock of one attempt minus the session's store I/O inside it.
+
+        ``Session(store=...)`` read-through does disk work inside
+        ``session.run``; charging that against ``policy.point_timeout``
+        would fail perfectly healthy points behind a slow (e.g. networked)
+        store, so the attempt clock covers the evaluation only.
+        """
+        io_spent = (
+            getattr(self.session, "store_io_seconds", 0.0) - io_before
+        )
+        return max(0.0, time.monotonic() - attempt_start - io_spent)
+
     def _run_point_serial(self, state: _TaskState) -> None:
         task = state.task
         last: tuple[BaseException, int, float] | None = None
@@ -275,6 +288,7 @@ class _Engine:
                     time.sleep(delay)
                 self.trace.n_retries += 1
             attempt_start = time.monotonic()
+            io_before = getattr(self.session, "store_io_seconds", 0.0)
             try:
                 corrupt = apply_fault(
                     self.fault_for(task.index, attempt), parallel=False
@@ -287,7 +301,7 @@ class _Engine:
                         f"point {task.index} returned a corrupted result "
                         f"({type(report).__name__}, not a report)"
                     )
-                elapsed = time.monotonic() - attempt_start
+                elapsed = self._attempt_elapsed(attempt_start, io_before)
                 if (
                     self.policy.point_timeout is not None
                     and elapsed > self.policy.point_timeout
@@ -299,7 +313,7 @@ class _Engine:
                         f"{self.policy.point_timeout}s"
                     )
             except Exception as exc:
-                last = (exc, attempt, time.monotonic() - attempt_start)
+                last = (exc, attempt, self._attempt_elapsed(attempt_start, io_before))
                 attempt += 1
                 continue
             self.checkpoint_write(state, report)

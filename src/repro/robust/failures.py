@@ -131,9 +131,10 @@ class ExecutionTrace:
     determinism comparison -- compare :meth:`deterministic_dict` instead.
     """
 
-    pool_kind: str = "serial"  #: ``"process"`` or ``"serial"``
+    pool_kind: str = "serial"  #: ``"process"``, ``"shard"`` or ``"serial"``
     fallback_reason: str | None = None  #: why a requested pool degraded to serial
     n_jobs: int | None = None
+    n_shards: int | None = None  #: shard-runner fan-out, if one was used
     n_points: int = 0
     n_completed: int = 0
     n_failed: int = 0
@@ -166,6 +167,27 @@ class ExecutionTrace:
         data.pop("elapsed")
         return data
 
+    def merge(self, part: "ExecutionTrace") -> None:
+        """Fold another trace's counters into this one.
+
+        This is how the study server folds per-batch traces into one
+        stream-level trace and how the shard runner folds per-shard traces
+        into the merged result's: additive counters accumulate, flags OR,
+        and the first recorded fallback reason wins.  ``pool_kind`` tracks
+        the most recent part (the shard runner overwrites it afterwards).
+        """
+        self.pool_kind = part.pool_kind
+        if part.fallback_reason and not self.fallback_reason:
+            self.fallback_reason = part.fallback_reason
+        self.n_completed += part.n_completed
+        self.n_failed += part.n_failed
+        self.n_retries += part.n_retries
+        self.n_timeouts += part.n_timeouts
+        self.n_worker_respawns += part.n_worker_respawns
+        self.checkpoint_hits += part.checkpoint_hits
+        self.checkpoint_writes += part.checkpoint_writes
+        self.deadline_hit = self.deadline_hit or part.deadline_hit
+
     def __str__(self) -> str:
         parts = [
             f"pool={self.pool_kind}",
@@ -173,6 +195,8 @@ class ExecutionTrace:
             f"failed={self.n_failed}",
             f"retries={self.n_retries}",
         ]
+        if self.n_shards:
+            parts.insert(1, f"shards={self.n_shards}")
         if self.fallback_reason:
             parts.append(f"fallback={self.fallback_reason!r}")
         if self.n_worker_respawns:

@@ -14,7 +14,11 @@ sweep points execute, never *what* they compute:
   process-parallel execution it is enforced preemptively (the stuck worker
   is abandoned and the pool replaced); in serial execution it is checked
   after the attempt returns (the interpreter cannot preempt its own frame),
-  so a slow point still consumes an attempt and retries deterministically;
+  so a slow point still consumes an attempt and retries deterministically.
+  The serial attempt clock covers the *evaluation* only: time the session
+  spends in :class:`~repro.robust.checkpoint.CheckpointStore` read-through
+  I/O (``Session.store_io_seconds``) is subtracted, so a slow persistent
+  store can never time out a healthy point;
 * **deadline** -- ``sweep_deadline`` bounds the whole sweep: once exceeded
   the executor stops submitting new points, drains in-flight ones, and
   returns partial results with the remaining points recorded as structured
@@ -61,7 +65,8 @@ class ExecutionPolicy:
     point_timeout:
         Seconds one attempt of one point may take, or ``None`` for no
         bound.  Enforced preemptively in process pools (worker replaced),
-        post-hoc in serial runs.
+        post-hoc in serial runs -- where the clock covers the evaluation
+        only, excluding the session's checkpoint-store read-through I/O.
     sweep_deadline:
         Seconds the whole sweep may take, or ``None``.  On expiry no new
         points are submitted; in-flight points are drained and the

@@ -334,3 +334,57 @@ class TestCorpusChaos:
         }
         assert trace.n_retries >= len(retried)
         assert trace.fault_plan_seed == self.SEED
+
+
+class TestTimeoutExcludesStoreIO:
+    """The serial-timeout accounting bugfix.
+
+    The serial engine cannot preempt an attempt, so it checks
+    ``point_timeout`` after the attempt returns -- but before the fix the
+    clock included the session's checkpoint-store read-through I/O, so a
+    healthy point in front of a slow (network, cold-cache) store timed out
+    spuriously.  The attempt clock now subtracts ``Session.store_io_seconds``
+    spent inside the attempt.
+    """
+
+    def test_slow_session_store_does_not_trip_point_timeout(
+        self, base_spec, tmp_path
+    ):
+        import time as time_module
+
+        from repro.robust import CheckpointStore
+
+        class SlowStore(CheckpointStore):
+            """A store whose every get/put stalls longer than the timeout."""
+
+            def __init__(self, root, delay):
+                super().__init__(root)
+                self.delay = delay
+
+            def get(self, spec):
+                time_module.sleep(self.delay)
+                return super().get(spec)
+
+            def put(self, spec, report):
+                time_module.sleep(self.delay)
+                return super().put(spec, report)
+
+        # evaluation takes ~10ms; each point pays ~0.8s of store I/O
+        # (one miss + one write), far beyond the 0.4s point budget
+        session = Session(store=SlowStore(tmp_path, delay=0.4))
+        policy = ExecutionPolicy(point_timeout=0.4)
+        result = ScenarioSweep(base_spec, AXES).run(
+            session=session, policy=policy
+        )
+        assert not result.failures
+        assert result.trace.n_timeouts == 0
+        assert len(result) == 4
+        assert session.store_io_seconds > 0.4  # the I/O genuinely happened
+
+    def test_genuinely_slow_evaluation_still_times_out(self, base_spec):
+        plan = FaultPlan((FaultSpec(point=0, kind="timeout", attempts=-1, delay=0.3),))
+        policy = ExecutionPolicy(point_timeout=0.1)
+        result = ScenarioSweep(base_spec, AXES).run(policy=policy, fault_plan=plan)
+        assert [f.index for f in result.failures] == [0]
+        assert result.failures[0].is_timeout
+        assert result.trace.n_timeouts >= 1

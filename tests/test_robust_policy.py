@@ -3,6 +3,8 @@
 from __future__ import annotations
 
 import json
+import threading
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 
 import pytest
 
@@ -250,3 +252,169 @@ class TestSessionStoreReadThrough:
         session.analyze(study_spec)
         session.clear()
         assert (session.store_hits, session.store_writes) == (0, 0)
+
+
+def _hammer_put(args):
+    """Process-pool entrypoint: many puts of one digest against a shared root.
+
+    Each worker process builds its own ``CheckpointStore`` over the same
+    directory -- exactly how shard workers share a store -- so the atomic
+    tmp-file naming must hold across pids, not just threads.
+    """
+    root, n_puts = args
+    from repro.api.session import Session
+    from repro.api.spec import AnalysisSpec, PipelineSpec, StudySpec
+    from repro.robust import CheckpointStore
+
+    spec = StudySpec(
+        pipeline=PipelineSpec(n_stages=2, logic_depth=3),
+        analysis=AnalysisSpec(backend="montecarlo", n_samples=200, seed=11),
+    )
+    store = CheckpointStore(root)
+    report = Session().run(spec)
+    for _ in range(n_puts):
+        store.put(spec, report)
+    return n_puts
+
+
+class TestCheckpointStoreConcurrency:
+    """The tmp-path collision bugfix: concurrent writers of one digest.
+
+    Before the fix every writer used the same temp name, so two writers
+    materialising the same digest could interleave open/write/replace and
+    publish a torn file (or crash on a vanished temp path).  Now every
+    writer gets a pid+thread+counter-unique temp file and the losing side
+    of a replace race is tolerated.
+    """
+
+    def test_threaded_writers_of_same_digest_never_collide(
+        self, tmp_path, study_spec
+    ):
+        store = CheckpointStore(tmp_path)
+        report = Session().run(study_spec)
+        n_threads, n_puts = 8, 25
+        start = threading.Barrier(n_threads)
+
+        def hammer():
+            start.wait()
+            for _ in range(n_puts):
+                store.put(study_spec, report)
+
+        with ThreadPoolExecutor(max_workers=n_threads) as pool:
+            futures = [pool.submit(hammer) for _ in range(n_threads)]
+            for future in futures:
+                future.result()
+
+        # every write was counted, exactly one entry exists, it parses,
+        # and no temp file leaked
+        assert store.writes == n_threads * n_puts
+        assert len(store) == 1
+        assert store.get(study_spec) == report
+        leftovers = [p for p in tmp_path.rglob("*.tmp")]
+        assert leftovers == []
+
+    def test_cross_process_writers_of_same_digest(self, tmp_path, study_spec):
+        n_workers, n_puts = 3, 10
+        try:
+            with ProcessPoolExecutor(max_workers=n_workers) as pool:
+                done = list(
+                    pool.map(
+                        _hammer_put,
+                        [(str(tmp_path), n_puts)] * n_workers,
+                    )
+                )
+        except (OSError, PermissionError) as exc:
+            pytest.skip(f"process pools unavailable here: {exc}")
+        assert done == [n_puts] * n_workers
+        store = CheckpointStore(tmp_path)
+        assert len(store) == 1
+        assert store.get(study_spec) is not None
+        assert list(tmp_path.rglob("*.tmp")) == []
+
+    def test_counters_are_exact_under_threaded_readers(
+        self, tmp_path, study_spec
+    ):
+        store = CheckpointStore(tmp_path)
+        store.put(study_spec, Session().run(study_spec))
+        n_threads, n_gets = 8, 25
+        start = threading.Barrier(n_threads)
+
+        def hammer():
+            start.wait()
+            for _ in range(n_gets):
+                assert store.get(study_spec) is not None
+
+        with ThreadPoolExecutor(max_workers=n_threads) as pool:
+            for future in [pool.submit(hammer) for _ in range(n_threads)]:
+                future.result()
+        assert store.hits == n_threads * n_gets
+        assert store.misses == 0
+
+
+class TestSessionCounterThreadSafety:
+    """The ``Session.stats()`` read-modify-write bugfix.
+
+    The serve bridge drives one session from a thread pool; unguarded
+    ``self.cache_hits += 1`` increments lost updates under contention, so
+    ``/v1/stats`` undercounted.  All counter bumps now go through one lock;
+    these tests assert *exact* totals, which lost updates cannot produce.
+    """
+
+    def test_cache_hit_counter_is_exact_under_threads(self, study_spec):
+        session = Session()
+        # Warm the expensive intermediate once; every further call is
+        # exactly one cache hit (session.run's report memo would answer
+        # without touching the counters, so hammer the counted layer).
+        args = (study_spec.pipeline, study_spec.variation, study_spec.analysis)
+        session.montecarlo_run(*args)
+        before = session.stats()["cache_hits"]
+        session.montecarlo_run(*args)
+        assert session.stats()["cache_hits"] == before + 1
+
+        before = session.stats()["cache_hits"]
+        n_threads, n_runs = 8, 50
+        start = threading.Barrier(n_threads)
+
+        def hammer():
+            start.wait()
+            for _ in range(n_runs):
+                session.montecarlo_run(*args)
+
+        with ThreadPoolExecutor(max_workers=n_threads) as pool:
+            for future in [pool.submit(hammer) for _ in range(n_threads)]:
+                future.result()
+        gained = session.stats()["cache_hits"] - before
+        assert gained == n_threads * n_runs  # lost updates would undercount
+
+    def test_store_counters_are_exact_under_threads(self, tmp_path, study_spec):
+        store = CheckpointStore(tmp_path)
+        Session(store=store).analyze(study_spec)  # materialise the entry
+
+        session = Session(store=store)
+        session.analyze(study_spec)  # one disk hit; now the in-memory cache fronts it
+        assert session.stats()["store_hits"] == 1
+        assert session.stats()["store_io_seconds"] > 0.0
+
+        n_threads, n_runs = 8, 10
+        fresh = [Session(store=store) for _ in range(n_threads)]
+        start = threading.Barrier(n_threads)
+
+        def hammer(s):
+            start.wait()
+            for _ in range(n_runs):
+                s.analyze(study_spec)
+
+        with ThreadPoolExecutor(max_workers=n_threads) as pool:
+            for future in [
+                pool.submit(hammer, s) for s in fresh
+            ]:
+                future.result()
+        # each fresh session takes exactly one disk hit, then memoises
+        assert [s.stats()["store_hits"] for s in fresh] == [1] * n_threads
+        assert all(s.stats()["store_writes"] == 0 for s in fresh)
+
+    def test_stats_exposes_store_io_seconds(self, study_spec):
+        session = Session()
+        assert session.stats()["store_io_seconds"] == 0.0
+        session.run(study_spec)
+        assert session.stats()["store_io_seconds"] == 0.0  # no store attached
